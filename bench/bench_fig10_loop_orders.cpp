@@ -1,0 +1,100 @@
+// Figure 10: runtime distribution over randomly sampled loop orders of the
+// all-mode order-3 TTMc kernel (paper: N=1024, R=32, 0.1% sparsity, 25% of
+// the CSF-consistent loop orders; red cut-off line; green line = runtime of
+// the order picked by SpTTN-Cyclops).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/enumerate.hpp"
+#include "util/cli.hpp"
+
+using namespace spttn;
+using namespace spttn::bench;
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig10_loop_orders");
+  const auto* n = cli.add_int("n", 256, "mode size (paper: 1024)");
+  const auto* rank = cli.add_int("rank", 32, "dense rank R (paper: 32)");
+  const auto* sparsity = cli.add_double("sparsity", 0.001, "nnz fraction");
+  const auto* fraction =
+      cli.add_double("fraction", 0.05, "fraction of orders to run "
+                                       "(paper: 0.25)");
+  const auto* seed = cli.add_int("seed", 3, "generator seed");
+  cli.parse(argc, argv);
+
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  const auto nnz = static_cast<std::int64_t>(static_cast<double>(*n) *
+                                             static_cast<double>(*n) *
+                                             static_cast<double>(*n) *
+                                             *sparsity);
+  CooTensor t = random_coo({*n, *n, *n}, nnz, rng);
+  auto p = make_problem(allmode_ttmc3_expr(), std::move(t),
+                        {{"r", *rank}, {"s", *rank}, {"u", *rank}}, rng);
+
+  // The contraction path SpTTN-Cyclops picks, and its chosen loop order.
+  Plan plan;
+  const RunResult chosen = run_spttn(*p, 3, {}, &plan);
+
+  // Sample loop orders of that path (CSF-consistent, like the paper).
+  const double total_orders =
+      count_orders(p->kernel(), plan.path, /*restrict_csf_order=*/true);
+  const auto samples = static_cast<std::size_t>(
+      std::max(1.0, total_orders * *fraction));
+  std::vector<LoopOrder> orders =
+      sample_orders(p->kernel(), plan.path, {}, samples, rng);
+
+  std::vector<double> times;
+  times.reserve(orders.size());
+  for (const auto& order : orders) {
+    FusedExecutor exec(p->kernel(), plan.path, order);
+    Output o = Output::make(*p);
+    ExecArgs args;
+    args.sparse = &p->bound.csf;
+    args.dense = p->bound.dense;
+    args.out_dense = &o.dense;
+    times.push_back(time_median([&] { exec.execute(args); }, 1));
+  }
+  std::sort(times.begin(), times.end());
+  const Summary s = summarize(times);
+
+  Table table(strfmt(
+      "Figure 10 — all-mode TTMc over %zu random loop orders (of %.0f), "
+      "N=%lld R=%lld",
+      orders.size(), total_orders, static_cast<long long>(*n),
+      static_cast<long long>(*rank)));
+  table.set_header({"statistic", "seconds"});
+  table.add_row({"best sampled order", strfmt("%.4f", s.min)});
+  table.add_row({"25th percentile", strfmt("%.4f", times[times.size() / 4])});
+  table.add_row({"median sampled order", strfmt("%.4f", s.median)});
+  table.add_row({"75th percentile",
+                 strfmt("%.4f", times[3 * times.size() / 4])});
+  table.add_row({"worst sampled order", strfmt("%.4f", s.max)});
+  table.add_row({"SpTTN-Cyclops pick (green line)", chosen.cell()});
+  const std::size_t rank_pos = static_cast<std::size_t>(
+      std::lower_bound(times.begin(), times.end(), chosen.seconds) -
+      times.begin());
+  table.add_row({"rank of the pick among samples",
+                 strfmt("%zu / %zu", rank_pos, times.size())});
+  table.add_note("paper: the picked order sits below the cut-off, near the "
+                 "best of the sampled distribution");
+
+  // ASCII histogram of the sampled distribution (the figure's scatter).
+  table.print(std::cout);
+  const int bins = 12;
+  std::cout << "runtime histogram (each * ~ one sampled order):\n";
+  for (int b = 0; b < bins; ++b) {
+    const double lo = s.min + (s.max - s.min) * b / bins;
+    const double hi = s.min + (s.max - s.min) * (b + 1) / bins;
+    int count = 0;
+    for (double v : times) {
+      if (v >= lo && (v < hi || b == bins - 1)) ++count;
+    }
+    std::cout << strfmt("  [%.4f, %.4f) ", lo, hi);
+    for (int i = 0; i < count; ++i) std::cout << '*';
+    if (chosen.seconds >= lo && (chosen.seconds < hi || b == bins - 1)) {
+      std::cout << "  <= SpTTN-Cyclops";
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

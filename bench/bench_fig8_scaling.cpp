@@ -1,0 +1,98 @@
+// Figure 8: strong scaling of TTMc, MTTKRP and TTTP on synthetic tensors
+// with identical mode sizes (paper: order-3 N=8192 / order-4 N=1024, 0.1%
+// sparsity, R=32; 64 MPI ranks per node).
+//
+// The distributed runtime is simulated: local kernels execute for real per
+// rank (max measured), collectives are charged to the alpha-beta model
+// (see src/dist/comm_model.hpp and EXPERIMENTS.md for constants).
+#include "dist/dist_spttn.hpp"
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+using namespace spttn;
+using namespace spttn::bench;
+
+namespace {
+
+void scaling_table(const std::string& title, const Problem& p,
+                   const std::vector<int>& ranks) {
+  Table table(title);
+  table.set_header({"ranks", "grid", "max-local[s]", "comm[s]", "total[s]",
+                    "speedup", "efficiency", "imbalance"});
+  double t1 = 0;
+  for (int r : ranks) {
+    DistSpttn dist(p.bound, r);
+    const DistResult res = dist.run({}, nullptr, {});
+    if (r == ranks.front()) t1 = res.time();
+    table.add_row({std::to_string(r), res.grid.describe(),
+                   strfmt("%.4f", res.max_local_seconds),
+                   strfmt("%.5f", res.comm_seconds),
+                   strfmt("%.4f", res.time()),
+                   strfmt("%.2fx", t1 / res.time()),
+                   strfmt("%.0f%%", 100.0 * t1 / res.time() /
+                                        static_cast<double>(r) *
+                                        static_cast<double>(ranks.front())),
+                   strfmt("%.2f", res.imbalance)});
+  }
+  table.add_note("paper Fig. 8: near-linear scaling for all three kernels");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_fig8_scaling");
+  const auto* n3 = cli.add_int("n3", 512, "order-3 mode size (paper: 8192)");
+  const auto* n4 = cli.add_int("n4", 96, "order-4 mode size (paper: 1024)");
+  const auto* rank = cli.add_int("rank", 32, "dense rank R (paper: 32)");
+  const auto* sparsity =
+      cli.add_double("sparsity", 0.001, "nnz fraction (paper: 0.1%)");
+  const auto* max_ranks = cli.add_int("max-ranks", 64, "largest rank count");
+  const auto* seed = cli.add_int("seed", 7, "generator seed");
+  cli.parse(argc, argv);
+
+  std::vector<int> ranks;
+  for (int r = 1; r <= *max_ranks; r *= 2) ranks.push_back(r);
+
+  Rng rng(static_cast<std::uint64_t>(*seed));
+  const auto nnz3 = static_cast<std::int64_t>(
+      static_cast<double>(*n3) * static_cast<double>(*n3) *
+      static_cast<double>(*n3) * *sparsity);
+  const auto nnz4 = static_cast<std::int64_t>(
+      static_cast<double>(*n4) * static_cast<double>(*n4) *
+      static_cast<double>(*n4) * static_cast<double>(*n4) * *sparsity);
+
+  {
+    CooTensor t = random_coo({*n3, *n3, *n3}, nnz3, rng);
+    auto p = make_problem(ttmc3_expr(), std::move(t),
+                          {{"r", *rank}, {"s", *rank}}, rng);
+    scaling_table(strfmt("Figure 8(a) — TTMc strong scaling, order-3 N=%lld "
+                         "nnz=%lld R=%lld",
+                         static_cast<long long>(*n3),
+                         static_cast<long long>(p->sparse.nnz()),
+                         static_cast<long long>(*rank)),
+                  *p, ranks);
+  }
+  {
+    CooTensor t = random_coo({*n4, *n4, *n4, *n4}, nnz4, rng);
+    auto p = make_problem(mttkrp4_expr(), std::move(t), {{"r", *rank}}, rng);
+    scaling_table(strfmt("Figure 8(b) — MTTKRP strong scaling, order-4 "
+                         "N=%lld nnz=%lld R=%lld",
+                         static_cast<long long>(*n4),
+                         static_cast<long long>(p->sparse.nnz()),
+                         static_cast<long long>(*rank)),
+                  *p, ranks);
+  }
+  {
+    CooTensor t = random_coo({*n3, *n3, *n3}, nnz3, rng);
+    auto p = make_problem(tttp3_expr(), std::move(t), {{"r", *rank}}, rng);
+    scaling_table(strfmt("Figure 8(c) — TTTP strong scaling, order-3 N=%lld "
+                         "nnz=%lld R=%lld",
+                         static_cast<long long>(*n3),
+                         static_cast<long long>(p->sparse.nnz()),
+                         static_cast<long long>(*rank)),
+                  *p, ranks);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Microbenchmarks of the internal BLAS-style kernels the executor offloads
+// inner loops to (google-benchmark). Not a paper figure; used to sanity-
+// check that the offload hooks sit on reasonably fast primitives.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "exec/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<double> rand_vec(std::size_t n) {
+  spttn::Rng rng(n);
+  std::vector<double> v(n);
+  for (double& x : v) x = 2 * rng.next_double() - 1;
+  return v;
+}
+
+void BM_xaxpy(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto x = rand_vec(static_cast<std::size_t>(n));
+  auto y = rand_vec(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    spttn::xaxpy(n, 1.000001, x.data(), 1, y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_xaxpy)->Range(1 << 4, 1 << 12);
+
+void BM_xdot(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto x = rand_vec(static_cast<std::size_t>(n));
+  const auto y = rand_vec(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spttn::xdot(n, x.data(), 1, y.data(), 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_xdot)->Range(1 << 4, 1 << 12);
+
+void BM_xger(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto x = rand_vec(static_cast<std::size_t>(n));
+  const auto y = rand_vec(static_cast<std::size_t>(n));
+  auto a = rand_vec(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    spttn::xger(n, n, 1.0, x.data(), 1, y.data(), 1, a.data(), n, 1);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_xger)->Range(1 << 4, 1 << 8);
+
+void BM_xgemm(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  const auto a = rand_vec(static_cast<std::size_t>(n * n));
+  const auto b = rand_vec(static_cast<std::size_t>(n * n));
+  auto c = rand_vec(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    spttn::xgemm(n, n, n, 1.0, a.data(), n, 1, b.data(), n, 1, c.data(), n,
+                 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_xgemm)->Range(1 << 4, 1 << 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,350 @@
+#include "apps/decompose.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "apps/linalg.hpp"
+#include "exec/executor.hpp"
+#include "exec/kernels.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// One planned, reusable SpTTN kernel execution.
+struct KernelRunner {
+  Kernel kernel;
+  Plan plan;
+  std::optional<FusedExecutor> exec;
+
+  KernelRunner(const std::string& expr, const CooTensor& coo,
+               const std::vector<const DenseTensor*>& dense_by_input,
+               const SparsityStats& stats, const PlannerOptions& options) {
+    kernel = Kernel::parse(expr);
+    for (int l = 0; l < coo.order(); ++l) {
+      kernel.set_index_dim(kernel.sparse_ref().idx[static_cast<std::size_t>(l)],
+                           coo.dim(l));
+    }
+    for (int i = 0; i < kernel.num_inputs(); ++i) {
+      if (i == kernel.sparse_input()) continue;
+      const DenseTensor* d = dense_by_input[static_cast<std::size_t>(i)];
+      const TensorRef& ref = kernel.input(i);
+      for (int m = 0; m < ref.order(); ++m) {
+        kernel.set_index_dim(ref.idx[static_cast<std::size_t>(m)], d->dim(m));
+      }
+    }
+    plan = make_plan(kernel, stats, options);
+    exec.emplace(kernel, plan);
+  }
+
+  double run(const CsfTensor& csf,
+             const std::vector<const DenseTensor*>& dense_by_input,
+             DenseTensor* out_dense, std::span<double> out_sparse) {
+    ExecArgs args;
+    args.sparse = &csf;
+    args.dense = dense_by_input;
+    args.out_dense = out_dense;
+    args.out_sparse = out_sparse;
+    Timer t;
+    exec->execute(args);
+    return t.seconds();
+  }
+};
+
+/// Index names i0..i{d-1} for the sparse modes.
+std::string mode_index(int m) { return "i" + std::to_string(m); }
+
+/// "T(i0,i1,...,i{d-1})"
+std::string sparse_ref_expr(int d) {
+  std::string s = "T(";
+  for (int m = 0; m < d; ++m) {
+    if (m) s += ",";
+    s += mode_index(m);
+  }
+  return s + ")";
+}
+
+/// MTTKRP expression for output mode m:
+/// "M(i{m},r) = T(...) * U0(i0,r) * ... (skipping mode m)".
+std::string mttkrp_expr(int d, int mode) {
+  std::string s = "M(" + mode_index(mode) + ",r) = " + sparse_ref_expr(d);
+  for (int m = 0; m < d; ++m) {
+    if (m == mode) continue;
+    s += strfmt(" * U%d(%s,r)", m, mode_index(m).c_str());
+  }
+  return s;
+}
+
+/// TTTP expression: "S(i0,..) = T(i0,..) * U0(i0,r) * U1(i1,r) * ...".
+std::string tttp_expr(int d) {
+  std::string s = "S(";
+  for (int m = 0; m < d; ++m) {
+    if (m) s += ",";
+    s += mode_index(m);
+  }
+  s += ") = " + sparse_ref_expr(d);
+  for (int m = 0; m < d; ++m) {
+    s += strfmt(" * U%d(%s,r)", m, mode_index(m).c_str());
+  }
+  return s;
+}
+
+double tensor_norm(const CooTensor& t) {
+  double s = 0;
+  for (double v : t.values()) s += v * v;
+  return std::sqrt(s);
+}
+
+/// Random (n x r) factor with small entries (keeps ALS starts stable).
+DenseTensor random_factor(std::int64_t n, std::int64_t r, Rng& rng) {
+  DenseTensor f({n, r});
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    f.data()[i] = 0.5 * (2.0 * rng.next_double() - 1.0);
+  }
+  return f;
+}
+
+}  // namespace
+
+double CpModel::value_at(std::span<const std::int64_t> coord) const {
+  double out = 0;
+  for (int r = 0; r < rank; ++r) {
+    double p = 1;
+    for (std::size_t m = 0; m < factors.size(); ++m) {
+      p *= factors[m].at({coord[m], r});
+    }
+    out += p;
+  }
+  return out;
+}
+
+CpModel make_cp_model(const CooTensor& tensor, int rank, Rng& rng) {
+  CpModel model;
+  model.rank = rank;
+  for (int m = 0; m < tensor.order(); ++m) {
+    model.factors.push_back(random_factor(tensor.dim(m), rank, rng));
+  }
+  return model;
+}
+
+double cp_fit(const CooTensor& tensor, const CpModel& model) {
+  // |T - M|^2 = |T|^2 - 2<T,M> + |M|^2.
+  const double tnorm2 = tensor_norm(tensor) * tensor_norm(tensor);
+  double inner = 0;
+  for (std::int64_t e = 0; e < tensor.nnz(); ++e) {
+    inner += tensor.value(e) * model.value_at(tensor.coord(e));
+  }
+  DenseTensor gprod;
+  for (std::size_t m = 0; m < model.factors.size(); ++m) {
+    const DenseTensor g = gram(model.factors[m]);
+    gprod = (m == 0) ? g : hadamard(gprod, g);
+  }
+  const double mnorm2 = element_sum(gprod);
+  const double resid2 = std::max(0.0, tnorm2 - 2 * inner + mnorm2);
+  return 1.0 - std::sqrt(resid2) / std::sqrt(tnorm2);
+}
+
+AlsReport cp_als(const CooTensor& tensor, CpModel* model, int sweeps,
+                 const PlannerOptions& options) {
+  SPTTN_CHECK(tensor.is_sorted());
+  const int d = tensor.order();
+  SPTTN_CHECK(static_cast<int>(model->factors.size()) == d);
+  AlsReport report;
+  const CsfTensor csf(tensor);
+  const SparsityStats stats = SparsityStats::from_coo(tensor);
+
+  // Plan one MTTKRP per output mode, reused across sweeps.
+  std::vector<KernelRunner> runners;
+  std::vector<std::vector<const DenseTensor*>> slots(
+      static_cast<std::size_t>(d));
+  for (int mode = 0; mode < d; ++mode) {
+    auto& s = slots[static_cast<std::size_t>(mode)];
+    s.push_back(nullptr);  // sparse slot
+    for (int m = 0; m < d; ++m) {
+      if (m != mode) s.push_back(&model->factors[static_cast<std::size_t>(m)]);
+    }
+    runners.emplace_back(mttkrp_expr(d, mode), tensor,
+                         slots[static_cast<std::size_t>(mode)], stats,
+                         options);
+  }
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (int mode = 0; mode < d; ++mode) {
+      DenseTensor m_out({tensor.dim(mode), model->rank});
+      report.seconds_in_kernels +=
+          runners[static_cast<std::size_t>(mode)].run(
+              csf, slots[static_cast<std::size_t>(mode)], &m_out, {});
+      // Normal equations: Hadamard of the other factors' Grams.
+      DenseTensor v;
+      bool first = true;
+      for (int m = 0; m < d; ++m) {
+        if (m == mode) continue;
+        const DenseTensor g = gram(model->factors[static_cast<std::size_t>(m)]);
+        v = first ? g : hadamard(v, g);
+        first = false;
+      }
+      solve_normal_equations(v, &m_out);
+      model->factors[static_cast<std::size_t>(mode)] = std::move(m_out);
+    }
+    report.fits.push_back(cp_fit(tensor, *model));
+    ++report.sweeps;
+  }
+  return report;
+}
+
+TuckerModel make_tucker_model(const CooTensor& tensor,
+                              std::vector<std::int64_t> ranks, Rng& rng) {
+  SPTTN_CHECK(static_cast<int>(ranks.size()) == tensor.order());
+  TuckerModel model;
+  model.ranks = ranks;
+  for (int m = 0; m < tensor.order(); ++m) {
+    DenseTensor f = random_factor(tensor.dim(m),
+                                  ranks[static_cast<std::size_t>(m)], rng);
+    orthonormalize_columns(&f);
+    model.factors.push_back(std::move(f));
+  }
+  model.core = DenseTensor(ranks);
+  return model;
+}
+
+HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
+                       int sweeps, const PlannerOptions& options) {
+  SPTTN_CHECK_MSG(tensor.order() == 3, "tucker_hooi supports order 3");
+  HooiReport report;
+  const CsfTensor csf(tensor);
+  const SparsityStats stats = SparsityStats::from_coo(tensor);
+  const auto& r = model->ranks;
+
+  // Per-mode TTMc kernels: Y = T x_{m'} U_{m'} for m' != m.
+  const std::vector<std::string> exprs = {
+      "Y(i0,a,b) = T(i0,i1,i2) * U1(i1,a) * U2(i2,b)",
+      "Y(i1,a,b) = T(i0,i1,i2) * U0(i0,a) * U2(i2,b)",
+      "Y(i2,a,b) = T(i0,i1,i2) * U0(i0,a) * U1(i1,b)",
+  };
+  std::vector<std::vector<const DenseTensor*>> slots = {
+      {nullptr, &model->factors[1], &model->factors[2]},
+      {nullptr, &model->factors[0], &model->factors[2]},
+      {nullptr, &model->factors[0], &model->factors[1]},
+  };
+  std::vector<KernelRunner> runners;
+  for (int mode = 0; mode < 3; ++mode) {
+    runners.emplace_back(exprs[static_cast<std::size_t>(mode)], tensor,
+                         slots[static_cast<std::size_t>(mode)], stats,
+                         options);
+  }
+  // All-mode TTMc for the core.
+  KernelRunner core_runner(
+      "G(a,b,c) = T(i0,i1,i2) * U0(i0,a) * U1(i1,b) * U2(i2,c)", tensor,
+      {nullptr, &model->factors[0], &model->factors[1], &model->factors[2]},
+      stats, options);
+
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    for (int mode = 0; mode < 3; ++mode) {
+      // Y has dims (I_mode, r_a, r_b) with (a, b) the other two ranks in
+      // ascending mode order.
+      const int ma = mode == 0 ? 1 : 0;
+      const int mb = mode == 2 ? 1 : 2;
+      DenseTensor y({tensor.dim(mode), r[static_cast<std::size_t>(ma)],
+                     r[static_cast<std::size_t>(mb)]});
+      report.seconds_in_kernels +=
+          runners[static_cast<std::size_t>(mode)].run(
+              csf, slots[static_cast<std::size_t>(mode)], &y, {});
+      // Matricized Y is (I x ra*rb) row-major. One orthogonal-iteration
+      // step toward the leading left subspace (stand-in for the SVD).
+      const std::int64_t cols =
+          r[static_cast<std::size_t>(ma)] * r[static_cast<std::size_t>(mb)];
+      DenseTensor ymat({tensor.dim(mode), cols});
+      for (std::int64_t i = 0; i < ymat.size(); ++i) {
+        ymat.data()[i] = y.data()[i];
+      }
+      DenseTensor& u = model->factors[static_cast<std::size_t>(mode)];
+      // z = Y^T u ; u_new = orth(Y z)
+      DenseTensor z({cols, r[static_cast<std::size_t>(mode)]});
+      xgemm(cols, r[static_cast<std::size_t>(mode)], tensor.dim(mode), 1.0,
+            ymat.data(), 1, cols, u.data(), r[static_cast<std::size_t>(mode)],
+            1, z.data(), r[static_cast<std::size_t>(mode)], 1);
+      DenseTensor u_new = matmul(ymat, z);
+      orthonormalize_columns(&u_new);
+      u = std::move(u_new);
+    }
+    report.seconds_in_kernels += core_runner.run(
+        csf,
+        {nullptr, &model->factors[0], &model->factors[1], &model->factors[2]},
+        &model->core, {});
+    report.core_norms.push_back(model->core.norm());
+    ++report.sweeps;
+  }
+  return report;
+}
+
+CompletionReport cp_complete(const CooTensor& observed, CpModel* model,
+                             int epochs, double step,
+                             const PlannerOptions& options) {
+  SPTTN_CHECK(observed.is_sorted());
+  const int d = observed.order();
+  CompletionReport report;
+  const SparsityStats stats = SparsityStats::from_coo(observed);
+
+  // Pattern CSF with unit values (for model evaluation via TTTP) and a
+  // residual CSF sharing the structure.
+  CooTensor ones = observed;
+  for (double& v : ones.values()) v = 1.0;
+  const CsfTensor csf_ones(ones);
+  CsfTensor csf_resid(ones);
+
+  std::vector<const DenseTensor*> tttp_slots{nullptr};
+  for (int m = 0; m < d; ++m) {
+    tttp_slots.push_back(&model->factors[static_cast<std::size_t>(m)]);
+  }
+  KernelRunner tttp(tttp_expr(d), observed, tttp_slots, stats, options);
+
+  std::vector<KernelRunner> grad;
+  std::vector<std::vector<const DenseTensor*>> grad_slots(
+      static_cast<std::size_t>(d));
+  for (int mode = 0; mode < d; ++mode) {
+    auto& s = grad_slots[static_cast<std::size_t>(mode)];
+    s.push_back(nullptr);
+    for (int m = 0; m < d; ++m) {
+      if (m != mode) s.push_back(&model->factors[static_cast<std::size_t>(m)]);
+    }
+    grad.emplace_back(mttkrp_expr(d, mode), observed,
+                      grad_slots[static_cast<std::size_t>(mode)], stats,
+                      options);
+  }
+
+  std::vector<double> model_vals(static_cast<std::size_t>(observed.nnz()));
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Model values on the pattern (TTTP with unit sparse values).
+    report.seconds_in_kernels +=
+        tttp.run(csf_ones, tttp_slots, nullptr, model_vals);
+    double se = 0;
+    auto resid_vals = csf_resid.vals();
+    for (std::int64_t e = 0; e < observed.nnz(); ++e) {
+      const double resid =
+          observed.value(e) - model_vals[static_cast<std::size_t>(e)];
+      resid_vals[static_cast<std::size_t>(e)] = resid;
+      se += resid * resid;
+    }
+    report.rmse.push_back(
+        std::sqrt(se / static_cast<double>(observed.nnz())));
+    // Gradient step per factor: MTTKRP of the residual tensor.
+    for (int mode = 0; mode < d; ++mode) {
+      DenseTensor g({observed.dim(mode), model->rank});
+      report.seconds_in_kernels += grad[static_cast<std::size_t>(mode)].run(
+          csf_resid, grad_slots[static_cast<std::size_t>(mode)], &g, {});
+      DenseTensor& u = model->factors[static_cast<std::size_t>(mode)];
+      for (std::int64_t i = 0; i < u.size(); ++i) {
+        u.data()[i] += step * g.data()[i];
+      }
+    }
+    ++report.epochs;
+  }
+  return report;
+}
+
+}  // namespace spttn

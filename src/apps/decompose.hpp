@@ -1,0 +1,81 @@
+// Tensor decomposition and completion drivers (paper Section 2.3) built
+// entirely on SpTTN kernels: MTTKRP for CP-ALS, TTMc for Tucker-HOOI, and
+// TTTP + MTTKRP-on-residual for CP completion. Every kernel invocation goes
+// through the planner/executor stack, so these drivers double as
+// integration tests of the whole library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+
+namespace spttn {
+
+class Rng;
+
+/// Rank-r CP model: one (I_m x r) factor per mode.
+struct CpModel {
+  std::vector<DenseTensor> factors;
+  int rank = 0;
+
+  /// Model value at one coordinate: sum_r prod_m U_m(c_m, r).
+  double value_at(std::span<const std::int64_t> coord) const;
+};
+
+struct AlsReport {
+  std::vector<double> fits;        ///< per-sweep fit = 1 - |T - model|/|T|
+  double seconds_in_kernels = 0;   ///< time spent in SpTTN executions
+  int sweeps = 0;
+};
+
+/// CP-ALS: alternating least squares with per-mode MTTKRP kernels planned
+/// and executed by the SpTTN stack.
+AlsReport cp_als(const CooTensor& tensor, CpModel* model, int sweeps,
+                 const PlannerOptions& options = {});
+
+/// Initialize a CP model with random factors.
+CpModel make_cp_model(const CooTensor& tensor, int rank, Rng& rng);
+
+/// Tucker model: core (r x r x ... ) plus orthonormal factors.
+struct TuckerModel {
+  std::vector<DenseTensor> factors;  ///< (I_m x r_m)
+  DenseTensor core;
+  std::vector<std::int64_t> ranks;
+};
+
+struct HooiReport {
+  std::vector<double> core_norms;  ///< grows as the fit improves
+  double seconds_in_kernels = 0;
+  int sweeps = 0;
+};
+
+/// Tucker-HOOI for order-3 tensors: per-mode TTMc (the Section 2.3 kernel),
+/// followed by orthonormalization of the matricized result.
+HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
+                       int sweeps, const PlannerOptions& options = {});
+
+TuckerModel make_tucker_model(const CooTensor& tensor,
+                              std::vector<std::int64_t> ranks, Rng& rng);
+
+struct CompletionReport {
+  std::vector<double> rmse;  ///< observed-entry RMSE per epoch
+  double seconds_in_kernels = 0;
+  int epochs = 0;
+};
+
+/// CP completion on the observed entries of `observed`: gradient descent
+/// where the residual is a TTTP kernel and each factor gradient is an
+/// MTTKRP with the residual values on the sparse pattern.
+CompletionReport cp_complete(const CooTensor& observed, CpModel* model,
+                             int epochs, double step,
+                             const PlannerOptions& options = {});
+
+/// Fit 1 - |T - model| / |T| evaluated sparsely (exact for CP models whose
+/// support matches T; standard CP fit formula otherwise).
+double cp_fit(const CooTensor& tensor, const CpModel& model);
+
+}  // namespace spttn

@@ -1,0 +1,135 @@
+#include "apps/linalg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "exec/kernels.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+
+DenseTensor gram(const DenseTensor& a) {
+  SPTTN_CHECK(a.order() == 2);
+  const std::int64_t n = a.dim(0);
+  const std::int64_t r = a.dim(1);
+  DenseTensor g({r, r});
+  xgemm(r, r, n, 1.0, a.data(), /*sam=*/1, /*sak=*/r, a.data(), r, 1,
+        g.data(), r, 1);
+  return g;
+}
+
+DenseTensor hadamard(const DenseTensor& a, const DenseTensor& b) {
+  SPTTN_CHECK(a.dims() == b.dims());
+  DenseTensor c(a.dims());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+double element_sum(const DenseTensor& a) {
+  double s = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) s += a.data()[i];
+  return s;
+}
+
+namespace {
+
+/// In-place Cholesky a = L L^T for row-major (r x r). Returns false if the
+/// matrix is not positive definite.
+bool cholesky(std::vector<double>& a, std::int64_t r) {
+  for (std::int64_t j = 0; j < r; ++j) {
+    double d = a[static_cast<std::size_t>(j * r + j)];
+    for (std::int64_t k = 0; k < j; ++k) {
+      const double l = a[static_cast<std::size_t>(j * r + k)];
+      d -= l * l;
+    }
+    if (d <= 0) return false;
+    const double ljj = std::sqrt(d);
+    a[static_cast<std::size_t>(j * r + j)] = ljj;
+    for (std::int64_t i = j + 1; i < r; ++i) {
+      double v = a[static_cast<std::size_t>(i * r + j)];
+      for (std::int64_t k = 0; k < j; ++k) {
+        v -= a[static_cast<std::size_t>(i * r + k)] *
+             a[static_cast<std::size_t>(j * r + k)];
+      }
+      a[static_cast<std::size_t>(i * r + j)] = v / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void solve_normal_equations(const DenseTensor& a, DenseTensor* b,
+                            double ridge) {
+  SPTTN_CHECK(a.order() == 2 && a.dim(0) == a.dim(1));
+  const std::int64_t r = a.dim(0);
+  SPTTN_CHECK(b->order() == 2 && b->dim(1) == r);
+  const std::int64_t n = b->dim(0);
+
+  // Copy with growing ridge until Cholesky succeeds.
+  std::vector<double> l(static_cast<std::size_t>(r * r));
+  double eps = ridge;
+  for (int attempt = 0; attempt < 60; ++attempt, eps *= 10) {
+    for (std::int64_t i = 0; i < r * r; ++i) {
+      l[static_cast<std::size_t>(i)] = a.data()[i];
+    }
+    for (std::int64_t i = 0; i < r; ++i) {
+      l[static_cast<std::size_t>(i * r + i)] += eps;
+    }
+    if (cholesky(l, r)) break;
+    SPTTN_CHECK_MSG(attempt + 1 < 60, "normal equations not solvable");
+  }
+  // Solve row-wise: x L L^T = b  =>  forward/back substitution on b rows.
+  for (std::int64_t row = 0; row < n; ++row) {
+    double* x = b->data() + row * r;
+    // y L^T = b  (forward in j)
+    for (std::int64_t j = 0; j < r; ++j) {
+      double v = x[j];
+      for (std::int64_t k = 0; k < j; ++k) {
+        v -= x[k] * l[static_cast<std::size_t>(j * r + k)];
+      }
+      x[j] = v / l[static_cast<std::size_t>(j * r + j)];
+    }
+    // x L = y  (backward)
+    for (std::int64_t j = r; j-- > 0;) {
+      double v = x[j];
+      for (std::int64_t k = j + 1; k < r; ++k) {
+        v -= x[k] * l[static_cast<std::size_t>(k * r + j)];
+      }
+      x[j] = v / l[static_cast<std::size_t>(j * r + j)];
+    }
+  }
+}
+
+void orthonormalize_columns(DenseTensor* a) {
+  SPTTN_CHECK(a->order() == 2);
+  const std::int64_t n = a->dim(0);
+  const std::int64_t r = a->dim(1);
+  for (std::int64_t c = 0; c < r; ++c) {
+    for (std::int64_t p = 0; p < c; ++p) {
+      const double dot = xdot(n, a->data() + c, r, a->data() + p, r);
+      xaxpy(n, -dot, a->data() + p, r, a->data() + c, r);
+    }
+    const double nrm =
+        std::sqrt(xdot(n, a->data() + c, r, a->data() + c, r));
+    if (nrm > 1e-12) {
+      for (std::int64_t i = 0; i < n; ++i) a->data()[i * r + c] /= nrm;
+    } else {
+      // Degenerate column: substitute a canonical unit vector.
+      for (std::int64_t i = 0; i < n; ++i) a->data()[i * r + c] = 0;
+      a->data()[(c % n) * r + c] = 1.0;
+    }
+  }
+}
+
+DenseTensor matmul(const DenseTensor& a, const DenseTensor& b) {
+  SPTTN_CHECK(a.order() == 2 && b.order() == 2 && a.dim(1) == b.dim(0));
+  DenseTensor c({a.dim(0), b.dim(1)});
+  xgemm(a.dim(0), b.dim(1), a.dim(1), 1.0, a.data(), a.dim(1), 1, b.data(),
+        b.dim(1), 1, c.data(), b.dim(1), 1);
+  return c;
+}
+
+}  // namespace spttn

@@ -1,0 +1,32 @@
+// Small dense linear algebra needed by the decomposition drivers:
+// Gram matrices, Cholesky solves, and modified Gram-Schmidt QR.
+// Everything operates on DenseTensor matrices (row-major).
+#pragma once
+
+#include "tensor/dense_tensor.hpp"
+
+namespace spttn {
+
+/// g = a^T a for a (n x r): g is (r x r).
+DenseTensor gram(const DenseTensor& a);
+
+/// Elementwise (Hadamard) product of two equal-shape matrices.
+DenseTensor hadamard(const DenseTensor& a, const DenseTensor& b);
+
+/// Sum of all elements.
+double element_sum(const DenseTensor& a);
+
+/// Solve x * a = b for x, where a is (r x r) SPD-ish and b is (n x r); the
+/// result overwrites b. A small ridge is added for stability (the standard
+/// CP-ALS normal-equations solve).
+void solve_normal_equations(const DenseTensor& a, DenseTensor* b,
+                            double ridge = 1e-12);
+
+/// Orthonormalize the columns of a (n x r) in place via modified
+/// Gram-Schmidt; degenerate columns are replaced with unit vectors.
+void orthonormalize_columns(DenseTensor* a);
+
+/// c = a * b for a (m x k), b (k x n).
+DenseTensor matmul(const DenseTensor& a, const DenseTensor& b);
+
+}  // namespace spttn

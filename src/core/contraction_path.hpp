@@ -1,0 +1,123 @@
+// Contraction paths for SpTTN kernels (paper Definition 3.1, Section 4.1.1).
+//
+// A contraction path orders the N pairwise contractions that combine the
+// N+1 input tensors. Each term L_i records its two operands, the union of
+// referenced indices, and its output index set (indices alive afterwards).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/einsum.hpp"
+#include "util/index_set.hpp"
+
+namespace spttn {
+
+/// One operand of a path term: either an original kernel input or the
+/// intermediate produced by an earlier term.
+struct PathOperand {
+  enum class Kind { kInput, kIntermediate };
+  Kind kind = Kind::kInput;
+  int id = 0;  ///< input position, or producing term index
+  IndexSet iset;
+
+  bool operator==(const PathOperand&) const = default;
+};
+
+/// One contraction term L_i = (u, v, w).
+struct PathTerm {
+  PathOperand lhs;
+  PathOperand rhs;
+  IndexSet refs;  ///< u ∪ v: every index looped by this term
+  IndexSet out;   ///< w: indices of the produced tensor
+  /// True when sparse-tensor data flows through an operand of this term.
+  bool carries_sparse = false;
+  /// refs ∩ sparse modes, regardless of whether sparse data flows.
+  IndexSet sparse_refs;
+
+  bool operator==(const PathTerm&) const = default;
+};
+
+/// Ordered contraction path (T, L) of Definition 3.1.
+struct ContractionPath {
+  std::vector<PathTerm> terms;
+
+  int num_terms() const { return static_cast<int>(terms.size()); }
+  const PathTerm& term(int i) const {
+    return terms[static_cast<std::size_t>(i)];
+  }
+
+  /// Index of the term that consumes term i's output, or -1 for the final
+  /// term (whose output is the kernel output).
+  int consumer_of(int i) const;
+
+  /// True when every sparse-carrying term's referenced sparse indices form a
+  /// prefix of the CSF mode order — the condition for all-at-once execution
+  /// with a single CSF tree (paper Section 5).
+  bool csf_prefix_executable(const Kernel& kernel) const;
+
+  /// Human-readable rendering, e.g.
+  ///   "T(i,j,k)*V(k,s) -> X1(i,j,s); X1(i,j,s)*U(j,r) -> S(i,r,s)".
+  std::string to_string(const Kernel& kernel) const;
+
+  bool operator==(const ContractionPath&) const = default;
+};
+
+/// Sparsity statistics driving path cost estimates: distinct-prefix counts
+/// along the CSF order (paper Section 2.2) plus cached projections onto
+/// arbitrary sparse-mode subsets.
+class SparsityStats {
+ public:
+  SparsityStats() = default;
+
+  /// Exact statistics from a tensor (must be sort_dedup()ed).
+  static SparsityStats from_coo(const CooTensor& coo);
+
+  /// Model statistics for a uniformly random tensor of the given shape.
+  static SparsityStats uniform(const std::vector<std::int64_t>& dims,
+                               std::int64_t nnz);
+
+  /// nnz(I1..Ik) for k in [0, order].
+  std::int64_t prefix_nnz(int k) const {
+    return prefix_[static_cast<std::size_t>(k)];
+  }
+
+  /// Distinct-projection count for an arbitrary mode subset (bitmask over
+  /// CSF levels). Exact when built from a tensor, modeled otherwise.
+  std::int64_t projection_nnz(std::uint64_t level_mask) const;
+
+  int order() const { return static_cast<int>(prefix_.size()) - 1; }
+
+ private:
+  std::vector<std::int64_t> prefix_;  ///< prefix_[k] = nnz(I1..Ik)
+  std::vector<std::int64_t> dims_;
+  std::int64_t nnz_ = 0;
+  const CooTensor* coo_ = nullptr;  ///< non-owning; null for modeled stats
+  mutable std::vector<std::pair<std::uint64_t, std::int64_t>> proj_cache_;
+};
+
+/// Leading-order scalar-operation estimate of executing `path` all-at-once
+/// (2 FLOPs per iteration point of each term). Iteration points of a
+/// sparse-carrying term: nnz over its sparse refs times dense extents.
+double path_flops(const Kernel& kernel, const ContractionPath& path,
+                  const SparsityStats& stats);
+
+/// Enumerate every ordered contraction path of the kernel
+/// (Section 4.1.1 recursion: pick all pairs, recurse on the reduced list).
+/// The number of results follows T(n) = C(n,2)·T(n-1).
+std::vector<ContractionPath> enumerate_paths(const Kernel& kernel);
+
+/// Closed-form count of ordered contraction paths for n input tensors:
+/// n! (n-1)! / 2^(n-1).
+std::uint64_t count_paths(int n);
+
+/// Build the left-to-right chain path contracting the sparse input with the
+/// remaining inputs in the given order (input positions, excluding the
+/// sparse input; empty = expression order). This is the schedule shape used
+/// by the SparseLNR-style baseline and by hand-tuned kernels.
+ContractionPath chain_path(const Kernel& kernel,
+                           std::vector<int> dense_order = {});
+
+}  // namespace spttn

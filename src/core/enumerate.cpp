@@ -1,0 +1,140 @@
+#include "core/enumerate.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// All admissible orderings of one term's indices.
+std::vector<std::vector<int>> term_permutations(const Kernel& kernel,
+                                                const PathTerm& term,
+                                                bool restrict_csf) {
+  std::vector<int> ids = term.refs.to_vector();
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::vector<int>> out;
+  do {
+    if (restrict_csf && term.carries_sparse) {
+      int last_level = -1;
+      bool ok = true;
+      for (int id : ids) {
+        const int lvl = kernel.csf_level(id);
+        if (lvl < 0) continue;
+        if (lvl < last_level) {
+          ok = false;
+          break;
+        }
+        last_level = lvl;
+      }
+      if (!ok) continue;
+    }
+    out.push_back(ids);
+  } while (std::next_permutation(ids.begin(), ids.end()));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t enumerate_orders(
+    const Kernel& kernel, const ContractionPath& path,
+    const EnumerateOptions& options,
+    const std::function<void(const LoopOrder&)>& visit) {
+  const int n = path.num_terms();
+  std::vector<std::vector<std::vector<int>>> choices;
+  choices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    choices.push_back(
+        term_permutations(kernel, path.term(i), options.restrict_csf_order));
+  }
+  // Odometer over the per-term choice lists.
+  std::vector<std::size_t> pos(static_cast<std::size_t>(n), 0);
+  LoopOrder order(static_cast<std::size_t>(n));
+  std::uint64_t visited = 0;
+  while (true) {
+    for (int i = 0; i < n; ++i) {
+      order[static_cast<std::size_t>(i)] =
+          choices[static_cast<std::size_t>(i)][pos[static_cast<std::size_t>(i)]];
+    }
+    visit(order);
+    ++visited;
+    if (options.limit > 0 && visited >= options.limit) return visited;
+    int i = n - 1;
+    while (i >= 0) {
+      if (++pos[static_cast<std::size_t>(i)] <
+          choices[static_cast<std::size_t>(i)].size()) {
+        break;
+      }
+      pos[static_cast<std::size_t>(i)] = 0;
+      --i;
+    }
+    if (i < 0) return visited;
+  }
+}
+
+double count_orders(const Kernel& kernel, const ContractionPath& path,
+                    bool restrict_csf_order) {
+  double total = 1;
+  for (int i = 0; i < path.num_terms(); ++i) {
+    const PathTerm& term = path.term(i);
+    const int m = term.refs.size();
+    double perms = 1;
+    for (int v = 2; v <= m; ++v) perms *= v;
+    if (restrict_csf_order && term.carries_sparse) {
+      const int k = term.sparse_refs.size();
+      double kfact = 1;
+      for (int v = 2; v <= k; ++v) kfact *= v;
+      perms /= kfact;
+    }
+    (void)kernel;
+    total *= perms;
+  }
+  return total;
+}
+
+std::vector<LoopOrder> sample_orders(const Kernel& kernel,
+                                     const ContractionPath& path,
+                                     const EnumerateOptions& options,
+                                     std::size_t count, Rng& rng) {
+  const int n = path.num_terms();
+  std::vector<std::vector<std::vector<int>>> choices;
+  choices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    choices.push_back(
+        term_permutations(kernel, path.term(i), options.restrict_csf_order));
+  }
+  std::vector<LoopOrder> out;
+  out.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    LoopOrder order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto& c = choices[static_cast<std::size_t>(i)];
+      order[static_cast<std::size_t>(i)] =
+          c[static_cast<std::size_t>(rng.next_below(c.size()))];
+    }
+    out.push_back(std::move(order));
+  }
+  return out;
+}
+
+EnumerationSearchResult search_orders(const Kernel& kernel,
+                                      const ContractionPath& path,
+                                      const TreeCost& cost,
+                                      const EnumerateOptions& options) {
+  EnumerationSearchResult result;
+  result.visited = enumerate_orders(
+      kernel, path, options, [&](const LoopOrder& order) {
+        const Cost c = evaluate_cost(kernel, path, order, cost);
+        if (c.is_inf()) return;
+        if (!result.feasible || c < result.best_cost) {
+          result.feasible = true;
+          result.best_cost = c;
+          result.best = order;
+        }
+      });
+  return result;
+}
+
+}  // namespace spttn

@@ -1,0 +1,70 @@
+#include "core/loop_order.hpp"
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+PeelResult peel(const LoopOrder& order) {
+  SPTTN_CHECK(!order.empty());
+  SPTTN_CHECK(!order.front().empty());
+  PeelResult r;
+  r.root = order.front().front();
+  std::size_t covered = 0;
+  while (covered < order.size() && !order[covered].empty() &&
+         order[covered].front() == r.root) {
+    ++covered;
+  }
+  r.covered = static_cast<int>(covered);
+  r.under_root.reserve(covered);
+  for (std::size_t i = 0; i < covered; ++i) {
+    r.under_root.emplace_back(order[i].begin() + 1, order[i].end());
+  }
+  r.remainder.assign(order.begin() + static_cast<std::ptrdiff_t>(covered),
+                     order.end());
+  return r;
+}
+
+bool is_valid_order(const ContractionPath& path, const LoopOrder& order) {
+  if (static_cast<int>(order.size()) != path.num_terms()) return false;
+  for (int i = 0; i < path.num_terms(); ++i) {
+    const auto& a = order[static_cast<std::size_t>(i)];
+    IndexSet seen;
+    for (int id : a) {
+      if (seen.contains(id)) return false;  // repeated index
+      seen.insert(id);
+    }
+    if (!(seen == path.term(i).refs)) return false;
+  }
+  return true;
+}
+
+bool respects_csf_order(const Kernel& kernel, const ContractionPath& path,
+                        const LoopOrder& order) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (!path.term(static_cast<int>(i)).carries_sparse) continue;
+    int last_level = -1;
+    for (int id : order[i]) {
+      const int lvl = kernel.csf_level(id);
+      if (lvl < 0) continue;  // dense index
+      if (lvl < last_level) return false;
+      last_level = lvl;
+    }
+  }
+  return true;
+}
+
+std::string order_to_string(const Kernel& kernel, const LoopOrder& order) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i) s += ",";
+    s += "(";
+    for (std::size_t j = 0; j < order[i].size(); ++j) {
+      if (j) s += ",";
+      s += kernel.index_name(order[i][j]);
+    }
+    s += ")";
+  }
+  return s + ")";
+}
+
+}  // namespace spttn

@@ -1,0 +1,44 @@
+// Loop orders for a contraction path (paper Definition 3.2) and the peeling
+// primitive (Definition 4.1) that decomposes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/contraction_path.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// A loop order A = (A_1, ..., A_N): one ordered index list per path term;
+/// A_i must be a permutation of term i's referenced indices.
+using LoopOrder = std::vector<std::vector<int>>;
+
+/// Result of one peeling step (Definition 4.1): the terms covered by the
+/// shared leading index (with that index stripped) and the remainder.
+struct PeelResult {
+  int root = -1;          ///< the shared leading index A_1[1]
+  int covered = 0;        ///< r: number of terms under the root
+  LoopOrder under_root;   ///< A^(1): covered terms, leading index removed
+  LoopOrder remainder;    ///< A^(2): terms r+1..N untouched
+};
+
+/// Peel the leading loop. Requires a non-empty order whose first term has a
+/// non-empty index list.
+PeelResult peel(const LoopOrder& order);
+
+/// Validate that `order` is a loop order for `path`: one entry per term,
+/// each a permutation of the term's refs.
+bool is_valid_order(const ContractionPath& path, const LoopOrder& order);
+
+/// True when within every sparse-carrying term's A_i the kernel's
+/// sparse-mode indices appear in CSF storage order (the restriction the
+/// runtime imposes, Section 5). Dense-only terms iterate sparse-mode indices
+/// as dense ranges, so no restriction applies to them.
+bool respects_csf_order(const Kernel& kernel, const ContractionPath& path,
+                        const LoopOrder& order);
+
+/// Render "((i,j,k,s),(i,j,s,r))" for logging and tests.
+std::string order_to_string(const Kernel& kernel, const LoopOrder& order);
+
+}  // namespace spttn

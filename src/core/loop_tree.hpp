@@ -1,0 +1,89 @@
+// Fully-fused loop nest forest (paper Definition 4.2) plus the intermediate
+// tensor (buffer) analysis of Equation 5 and reset placement (Algorithm 2).
+//
+// The tree is the planner's output contract with the executor: every loop
+// becomes either a CSF traversal or a dense counting loop, every kTerm
+// action a multiply-accumulate, every kReset a buffer zeroing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/contraction_path.hpp"
+#include "core/loop_order.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// Intermediate tensor between a producer term and its consumer (Eq. 5).
+struct BufferSpec {
+  int producer = -1;  ///< term id that accumulates into the buffer
+  int consumer = -1;  ///< term id that reads it
+  /// Buffer index ids, outermost first (ordered by the producer's loop
+  /// order, so producer writes are contiguous).
+  std::vector<int> indices;
+  /// Per-index dimensions aligned with `indices`.
+  std::vector<std::int64_t> dims;
+  /// Total element count.
+  std::int64_t size = 1;
+};
+
+/// Fully-fused loop nest forest.
+class LoopTree {
+ public:
+  struct Action {
+    enum class Kind {
+      kLoop,   ///< descend into nodes()[id]
+      kTerm,   ///< execute contraction term id (all its indices are bound)
+      kReset,  ///< zero buffers()[id] before its producer subtree runs
+    };
+    Kind kind;
+    int id;
+  };
+
+  struct Node {
+    int index = -1;              ///< kernel index id iterated by this loop
+    bool sparse = false;         ///< iterate the CSF tree (vs dense range)
+    int csf_level = -1;          ///< CSF level when sparse
+    std::vector<Action> body;    ///< ordered children
+    int depth = 0;               ///< root depth 0
+  };
+
+  /// Build the forest for (path, order) per Definition 4.2, infer buffers
+  /// (Eq. 5) and insert reset actions. `order` must be valid for `path`.
+  static LoopTree build(const Kernel& kernel, const ContractionPath& path,
+                        const LoopOrder& order);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Action>& top() const { return top_; }
+  /// buffers()[i] describes term i's output buffer; the final term has no
+  /// buffer entry (it writes the kernel output) — its slot has producer -1.
+  const std::vector<BufferSpec>& buffers() const { return buffers_; }
+
+  /// Maximum buffer order (paper's "intermediate tensor dimension").
+  int max_buffer_dim() const;
+  /// Maximum buffer element count.
+  std::int64_t max_buffer_size() const;
+  /// Total elements across all buffers.
+  std::int64_t total_buffer_size() const;
+  /// Maximum loop depth of any term (number of loops surrounding it).
+  int max_depth() const;
+
+  /// Number of trailing dense-only loops over each term that are exclusive
+  /// to that term (candidates for BLAS-style kernel offload); summed over
+  /// terms. Reported in the planner and used as a tie-breaker.
+  int count_offloadable_dense_loops(const Kernel& kernel,
+                                    const ContractionPath& path,
+                                    const LoopOrder& order) const;
+
+  /// Pretty-print pseudocode in the style of the paper's listings.
+  std::string render(const Kernel& kernel, const ContractionPath& path) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Action> top_;
+  std::vector<BufferSpec> buffers_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,243 @@
+#include "core/order_dp.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Memoized solution of one subproblem: best loop order plus the best order
+/// whose loop-nest forest has a different root index.
+struct Entry {
+  LoopOrder best;
+  Cost best_cost = Cost::inf();
+  int best_root = -1;  ///< root index of F(best); -1 when empty/none
+  LoopOrder second;
+  Cost second_cost = Cost::inf();
+  int second_root = -1;
+  bool has_best = false;
+  bool has_second = false;
+};
+
+struct Key {
+  int first;
+  int last;
+  std::uint64_t removed;
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    std::uint64_t h = k.removed;
+    h = hash_mix(h ^ (static_cast<std::uint64_t>(k.first) << 32) ^
+                 static_cast<std::uint64_t>(k.last));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Solver {
+ public:
+  Solver(const Kernel& kernel, const ContractionPath& path,
+         const TreeCost& cost, const DpOptions& options)
+      : kernel_(kernel), path_(path), cost_(cost), options_(options) {}
+
+  const Entry& solve(int first, int last, IndexSet removed) {
+    const Key key{first, last, removed.bits()};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    ++subproblems_;
+    Entry entry = compute(first, last, removed);
+    return memo_.emplace(key, std::move(entry)).first->second;
+  }
+
+  std::int64_t subproblems() const { return subproblems_; }
+  std::int64_t evaluations() const { return evaluations_; }
+
+ private:
+  /// True when `q` may be the next loop of sparse-carrying term `t`: every
+  /// sparse mode at a shallower CSF level must already be iterated.
+  bool csf_ok(int t, int q, IndexSet removed) const {
+    if (!options_.restrict_csf_order) return true;
+    const PathTerm& term = path_.term(t);
+    if (!term.carries_sparse) return true;
+    const int lvl = kernel_.csf_level(q);
+    if (lvl < 0) return true;  // dense index: unrestricted
+    for (int id : (term.sparse_refs - removed).elements()) {
+      if (kernel_.csf_level(id) < lvl) return false;
+    }
+    return true;
+  }
+
+  Entry compute(int first, int last, IndexSet removed) {
+    Entry entry;
+    if (first == last) {
+      entry.has_best = true;
+      entry.best_cost = cost_.zero();
+      return entry;
+    }
+    const PathTerm& head = path_.term(first);
+    const IndexSet live = head.refs - removed;
+
+    if (live.empty()) {
+      // Algorithm 1 line 5: the first term executes in place.
+      const Entry& sub = solve(first + 1, last, removed);
+      DropContext dctx;
+      dctx.kernel = &kernel_;
+      dctx.path = &path_;
+      dctx.term = first;
+      dctx.last = last;
+      dctx.removed = removed;
+      // The forest now begins with this term's leaf. A leaf child breaks
+      // adjacency between loop vertices, so a preceding loop over any index
+      // can never become "two consecutive children with the same index":
+      // report root -1 (never conflicts at line 17 of Algorithm 1).
+      if (sub.has_best) {
+        entry.has_best = true;
+        entry.best = sub.best;
+        entry.best.insert(entry.best.begin(), std::vector<int>{});
+        entry.best_cost = cost_.drop(dctx, sub.best_cost);
+        entry.best_root = -1;
+      }
+      if (sub.has_second) {
+        entry.has_second = true;
+        entry.second = sub.second;
+        entry.second.insert(entry.second.begin(), std::vector<int>{});
+        entry.second_cost = cost_.drop(dctx, sub.second_cost);
+        entry.second_root = -1;
+      }
+      return entry;
+    }
+
+    // Try every candidate root q and every covered prefix length s
+    // (Algorithm 1 lines 8-26).
+    for (int q : live.elements()) {
+      Cost best_for_q = Cost::inf();
+      LoopOrder order_for_q;
+      bool has_for_q = false;
+
+      // Maximal run of terms containing q.
+      int kmax = first;
+      while (kmax < last && path_.term(kmax).refs.contains(q)) ++kmax;
+
+      IndexSet with_q = removed;
+      with_q.insert(q);
+      bool run_valid = true;
+      for (int split = first + 1; split <= kmax; ++split) {
+        // CSF-order restriction applies to each newly covered term.
+        if (!csf_ok(split - 1, q, removed)) {
+          run_valid = false;
+        }
+        if (!run_valid) break;
+        ++evaluations_;
+
+        const Entry& x = solve(first, split, with_q);
+        const Entry& y = solve(split, last, removed);
+        if (!x.has_best) continue;
+
+        // Line 17: if Y's best tree is rooted at q the combined nest would
+        // not be fully fused; use Y's second-best instead.
+        const LoopOrder* y_order = nullptr;
+        Cost y_cost = cost_.zero();
+        if (split < last) {
+          if (y.has_best && y.best_root != q) {
+            y_order = &y.best;
+            y_cost = y.best_cost;
+          } else if (y.has_second && y.second_root != q) {
+            y_order = &y.second;
+            y_cost = y.second_cost;
+          } else {
+            continue;  // no fully-fused completion for this split
+          }
+        }
+
+        PeelContext ctx;
+        ctx.kernel = &kernel_;
+        ctx.path = &path_;
+        ctx.first = first;
+        ctx.split_end = split;
+        ctx.last = last;
+        ctx.removed = removed;
+        ctx.root = q;
+        const Cost total = cost_.combine(cost_.phi(ctx, x.best_cost), y_cost);
+        if (total.is_inf()) continue;  // infeasible candidates never win
+        if (!has_for_q || total < best_for_q) {
+          best_for_q = total;
+          order_for_q.clear();
+          order_for_q.reserve(
+              static_cast<std::size_t>(last - first));
+          for (int t = first; t < split; ++t) {
+            std::vector<int> a;
+            a.reserve(x.best[static_cast<std::size_t>(t - first)].size() + 1);
+            a.push_back(q);
+            const auto& xa = x.best[static_cast<std::size_t>(t - first)];
+            a.insert(a.end(), xa.begin(), xa.end());
+            order_for_q.push_back(std::move(a));
+          }
+          if (y_order != nullptr) {
+            order_for_q.insert(order_for_q.end(), y_order->begin(),
+                               y_order->end());
+          }
+          has_for_q = true;
+        }
+      }
+
+      if (!has_for_q) continue;
+      // Merge the per-root winner into (best, second) keeping distinct roots
+      // (lines 27-30).
+      if (!entry.has_best || best_for_q < entry.best_cost) {
+        if (entry.has_best) {
+          entry.second = std::move(entry.best);
+          entry.second_cost = entry.best_cost;
+          entry.second_root = entry.best_root;
+          entry.has_second = true;
+        }
+        entry.best = std::move(order_for_q);
+        entry.best_cost = best_for_q;
+        entry.best_root = q;
+        entry.has_best = true;
+      } else if (!entry.has_second || best_for_q < entry.second_cost) {
+        entry.second = std::move(order_for_q);
+        entry.second_cost = best_for_q;
+        entry.second_root = q;
+        entry.has_second = true;
+      }
+    }
+    return entry;
+  }
+
+  const Kernel& kernel_;
+  const ContractionPath& path_;
+  const TreeCost& cost_;
+  const DpOptions& options_;
+  std::unordered_map<Key, Entry, KeyHash> memo_;
+  std::int64_t subproblems_ = 0;
+  std::int64_t evaluations_ = 0;
+};
+
+}  // namespace
+
+DpResult optimal_order(const Kernel& kernel, const ContractionPath& path,
+                       const TreeCost& cost, const DpOptions& options) {
+  SPTTN_CHECK(path.num_terms() >= 1);
+  Solver solver(kernel, path, cost, options);
+  const Entry& top = solver.solve(0, path.num_terms(), IndexSet{});
+  DpResult result;
+  result.subproblems = solver.subproblems();
+  result.evaluations = solver.evaluations();
+  if (top.has_best && !top.best_cost.is_inf()) {
+    result.feasible = true;
+    result.best = top.best;
+    result.best_cost = top.best_cost;
+  }
+  if (top.has_second && !top.second_cost.is_inf()) {
+    result.has_second = true;
+    result.second = top.second;
+    result.second_cost = top.second_cost;
+  }
+  return result;
+}
+
+}  // namespace spttn

@@ -1,0 +1,40 @@
+// Algorithm 1: dynamic program finding the cost-optimal loop order for a
+// fixed contraction path under a tree-separable cost function.
+//
+// Subproblems are (term range, set of already-iterated indices); memoization
+// brings the search from O((m!)^N) loop orders down to O(N^3 2^m m)
+// (paper Section 4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/loop_order.hpp"
+
+namespace spttn {
+
+struct DpOptions {
+  /// Restrict sparse-carrying terms to iterate sparse modes in CSF storage
+  /// order (Section 5). On by default, matching the runtime.
+  bool restrict_csf_order = true;
+};
+
+struct DpResult {
+  bool feasible = false;
+  LoopOrder best;
+  Cost best_cost = Cost::inf();
+  bool has_second = false;
+  LoopOrder second;          ///< best order whose loop-nest root differs
+  Cost second_cost = Cost::inf();
+
+  // Instrumentation for the complexity experiments.
+  std::int64_t subproblems = 0;   ///< distinct memoized subproblems
+  std::int64_t evaluations = 0;   ///< (root, split) candidates examined
+};
+
+/// Run Algorithm 1. Returns the minimum-cost loop order (and the best
+/// differently-rooted alternative) for the given contraction path.
+DpResult optimal_order(const Kernel& kernel, const ContractionPath& path,
+                       const TreeCost& cost, const DpOptions& options = {});
+
+}  // namespace spttn

@@ -1,0 +1,148 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+std::string Plan::describe(const Kernel& kernel) const {
+  std::ostringstream os;
+  os << "kernel: " << kernel.to_string() << "\n";
+  os << "path:   " << path.to_string(kernel) << "\n";
+  os << "order:  " << order_to_string(kernel, order) << "\n";
+  os << "cost:   " << cost.to_string() << "  flops~" << flops << "\n";
+  os << "bufdim: " << tree.max_buffer_dim()
+     << "  bufsize: " << tree.max_buffer_size()
+     << "  depth: " << tree.max_depth() << "\n";
+  os << "nest:\n" << tree.render(kernel, path);
+  return os.str();
+}
+
+std::unique_ptr<TreeCost> make_cost_model(const PlannerOptions& options,
+                                          const SparsityStats* stats) {
+  switch (options.cost) {
+    case CostKind::kMaxBufferDim:
+      return std::make_unique<MaxBufferDimCost>();
+    case CostKind::kMaxBufferSize:
+      return std::make_unique<MaxBufferSizeCost>();
+    case CostKind::kCacheMiss:
+      return std::make_unique<CacheMissCost>(options.cache_d, stats,
+                                             options.sparse_aware_cache);
+    case CostKind::kBoundedBufferBlas:
+      return std::make_unique<BoundedBufferBlasCost>(
+          options.buffer_dim_bound, options.cache_d, stats,
+          options.sparse_aware_cache);
+  }
+  SPTTN_CHECK(false);
+  return nullptr;
+}
+
+std::vector<ContractionPath> executable_paths(const Kernel& kernel,
+                                              const SparsityStats& stats,
+                                              int* total_paths) {
+  std::vector<ContractionPath> all = enumerate_paths(kernel);
+  if (total_paths != nullptr) *total_paths = static_cast<int>(all.size());
+  std::vector<ContractionPath> exec;
+  for (auto& p : all) {
+    if (p.csf_prefix_executable(kernel)) exec.push_back(std::move(p));
+  }
+  std::stable_sort(exec.begin(), exec.end(),
+                   [&](const ContractionPath& a, const ContractionPath& b) {
+                     return path_flops(kernel, a, stats) <
+                            path_flops(kernel, b, stats);
+                   });
+  return exec;
+}
+
+namespace {
+
+/// Run the DP across one FLOP group; fills `plan` when a feasible nest with
+/// the best group cost is found.
+bool search_group(const Kernel& kernel,
+                  const std::vector<const ContractionPath*>& group,
+                  const TreeCost& cost, const PlannerOptions& options,
+                  const SparsityStats& stats, Plan* plan) {
+  DpOptions dp_options;
+  dp_options.restrict_csf_order = options.restrict_csf_order;
+  bool found = false;
+  for (const ContractionPath* path : group) {
+    const DpResult r = optimal_order(kernel, *path, cost, dp_options);
+    plan->paths_searched += 1;
+    plan->dp_subproblems += r.subproblems;
+    plan->dp_evaluations += r.evaluations;
+    if (!r.feasible) continue;
+    if (!found || r.best_cost < plan->cost) {
+      plan->path = *path;
+      plan->order = r.best;
+      plan->cost = r.best_cost;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
+               const PlannerOptions& options) {
+  SPTTN_CHECK_MSG(kernel.dims_bound(),
+                  "bind index dimensions before planning");
+  Plan plan;
+  int total = 0;
+  const std::vector<ContractionPath> exec =
+      executable_paths(kernel, stats, &total);
+  plan.paths_total = total;
+  plan.paths_executable = static_cast<int>(exec.size());
+  SPTTN_CHECK_MSG(!exec.empty(),
+                  "no single-CSF executable contraction path for kernel "
+                      << kernel.to_string());
+
+  // Group by FLOP estimate (paths within tolerance share a group).
+  std::vector<double> flops(exec.size());
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    flops[i] = path_flops(kernel, exec[i], stats);
+  }
+  std::vector<std::vector<const ContractionPath*>> groups;
+  std::vector<double> group_flops;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (groups.empty() ||
+        flops[i] > group_flops.back() * options.flop_group_tolerance) {
+      groups.emplace_back();
+      group_flops.push_back(flops[i]);
+    }
+    groups.back().push_back(&exec[i]);
+    if (options.max_paths_searched > 0 &&
+        static_cast<int>(i) + 1 >= options.max_paths_searched) {
+      break;
+    }
+  }
+
+  // Paper Section 5: optimal-complexity group first, then fall back; when
+  // even that fails and relaxation is allowed, loosen the buffer bound.
+  PlannerOptions effective = options;
+  const int max_bound = std::max(options.buffer_dim_bound,
+                                 kernel.num_indices());
+  for (int bound = options.buffer_dim_bound; bound <= max_bound; ++bound) {
+    effective.buffer_dim_bound = bound;
+    const std::unique_ptr<TreeCost> cost = make_cost_model(effective, &stats);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (search_group(kernel, groups[g], *cost, effective, stats, &plan)) {
+        plan.flops = path_flops(kernel, plan.path, stats);
+        plan.buffer_dim_bound = bound;
+        plan.tree = LoopTree::build(kernel, plan.path, plan.order);
+        return plan;
+      }
+    }
+    if (!options.allow_bound_relaxation ||
+        options.cost != CostKind::kBoundedBufferBlas) {
+      break;
+    }
+  }
+  SPTTN_CHECK_MSG(false, "no feasible loop nest found for kernel "
+                             << kernel.to_string());
+  return plan;
+}
+
+}  // namespace spttn

@@ -1,0 +1,85 @@
+// The SpTTN planner (paper Section 5): enumerate contraction paths, keep
+// the asymptotically cheapest executable ones, and pick the loop nest that
+// minimizes the configured tree-separable cost via Algorithm 1, falling back
+// to costlier paths (and looser buffer bounds) when constrained.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/contraction_path.hpp"
+#include "core/cost.hpp"
+#include "core/loop_tree.hpp"
+#include "core/order_dp.hpp"
+
+namespace spttn {
+
+enum class CostKind {
+  kMaxBufferDim,
+  kMaxBufferSize,
+  kCacheMiss,
+  kBoundedBufferBlas,  ///< the paper's experiment metric (default)
+};
+
+struct PlannerOptions {
+  CostKind cost = CostKind::kBoundedBufferBlas;
+  /// Intermediate-dimension bound for kBoundedBufferBlas (paper uses 2).
+  int buffer_dim_bound = 2;
+  /// Relax the bound (up to the kernel's index count) when no loop nest
+  /// fits; mirrors the runtime's constraint-relaxation loop.
+  bool allow_bound_relaxation = true;
+  /// Sparse-carrying terms iterate sparse modes in CSF order.
+  bool restrict_csf_order = true;
+  /// Paths whose FLOP estimate is within this factor of the best are
+  /// considered the same asymptotic-cost group and compared by the cost
+  /// model (constant-factor flop differences are the cost model's job;
+  /// asymptotically worse paths differ by whole index extents and fall
+  /// outside the group).
+  double flop_group_tolerance = 3.0;
+  /// Cache-model subtensor order D (Definition 4.6).
+  int cache_d = 1;
+  /// Use CSF fan-outs instead of dense dims for sparse loop trip counts.
+  bool sparse_aware_cache = true;
+  /// Safety cap on DP invocations across path groups (0 = unlimited).
+  int max_paths_searched = 256;
+};
+
+/// A fully planned SpTTN execution.
+struct Plan {
+  ContractionPath path;
+  LoopOrder order;
+  LoopTree tree;
+  Cost cost;
+  double flops = 0;            ///< estimated scalar operations
+  int buffer_dim_bound = 0;    ///< bound in effect when planned
+
+  // Search diagnostics.
+  int paths_total = 0;          ///< enumerated contraction paths
+  int paths_executable = 0;     ///< single-CSF executable paths
+  int paths_searched = 0;       ///< paths run through the DP
+  std::int64_t dp_subproblems = 0;
+  std::int64_t dp_evaluations = 0;
+
+  /// Render the chosen loop nest with costs, in the style of the listings.
+  std::string describe(const Kernel& kernel) const;
+};
+
+/// Instantiate the cost model named by options (stats may be null for
+/// models that do not need it).
+std::unique_ptr<TreeCost> make_cost_model(const PlannerOptions& options,
+                                          const SparsityStats* stats);
+
+/// Plan a kernel. `stats` supplies the sparsity statistics of the sparse
+/// operand (exact or modeled). Throws spttn::Error when the kernel admits no
+/// executable loop nest.
+Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
+               const PlannerOptions& options = {});
+
+/// All single-CSF-executable contraction paths sorted by estimated FLOPs
+/// (cheapest first). Exposed for benches and the autotuner.
+std::vector<ContractionPath> executable_paths(const Kernel& kernel,
+                                              const SparsityStats& stats,
+                                              int* total_paths = nullptr);
+
+}  // namespace spttn

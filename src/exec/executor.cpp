@@ -1,0 +1,548 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "exec/kernels.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Where an operand's data lives.
+enum class Base {
+  kDense,      ///< a dense input tensor
+  kBuffer,     ///< an intermediate buffer
+  kSparseVal,  ///< the CSF leaf value of the sparse input
+  kOutDense,   ///< the dense kernel output
+  kOutSparse,  ///< the pattern-aligned sparse output values
+};
+
+/// Compiled strided access: offset = sum over outer (idx value * stride),
+/// then `inner` strides advance through any collapsed trailing loops.
+struct CAccess {
+  Base base = Base::kDense;
+  int id = 0;  ///< dense input position or producing-term buffer id
+  std::vector<std::pair<int, std::int64_t>> outer;
+  std::vector<std::int64_t> inner;  ///< aligned with CTerm::extent
+};
+
+struct CTerm {
+  CAccess lhs, rhs, out;
+  std::vector<std::int64_t> extent;  ///< trailing collapsed dense loops
+  int term_id = 0;
+};
+
+struct CActionRef {
+  enum class Kind { kLoop, kTerm, kReset } kind;
+  int id;
+};
+
+struct CLoop {
+  int index = -1;
+  bool sparse = false;
+  int csf_level = -1;
+  std::int64_t extent = 0;  ///< dense trip count (unused for CSF loops)
+  std::vector<CActionRef> body;
+};
+
+}  // namespace
+
+struct FusedExecutor::Impl {
+  Kernel kernel;  // copy: plans outlive callers' kernels
+  ContractionPath path;
+  LoopTree tree;
+
+  std::vector<CLoop> loops;
+  std::vector<CTerm> terms;
+  std::vector<CActionRef> top;
+  std::vector<std::int64_t> buffer_len;  // element counts per producing term
+  int offloaded_terms = 0;
+  int collapsed_loops = 0;
+
+  bool collapse_dense = true;
+
+  /// Mutable per-execution (and per-thread) state. The compiled program
+  /// above is immutable during execution, so parallel workers share it and
+  /// own one Runtime each.
+  struct Runtime {
+    std::vector<std::int64_t> idx_val;
+    std::vector<std::int64_t> csf_node;
+    std::vector<std::vector<double>> buffers;  // per producing term
+    const CsfTensor* csf = nullptr;
+    std::vector<const double*> dense_data;
+    double* out_dense_data = nullptr;
+    double* out_sparse_data = nullptr;
+  };
+
+  Runtime make_runtime() const {
+    Runtime rt;
+    rt.idx_val.assign(static_cast<std::size_t>(kernel.num_indices()), 0);
+    rt.csf_node.assign(static_cast<std::size_t>(kernel.sparse_ref().order()),
+                       0);
+    rt.buffers.resize(buffer_len.size());
+    for (std::size_t b = 0; b < buffer_len.size(); ++b) {
+      rt.buffers[b].assign(static_cast<std::size_t>(buffer_len[b]), 0.0);
+    }
+    return rt;
+  }
+
+  void compile(const LoopOrder& order);
+  CAccess make_access(const PathOperand& op,
+                      const std::vector<int>& inner_chain);
+  CAccess make_out_access(int term_id, const std::vector<int>& inner_chain);
+  std::vector<std::int64_t> strides_for(
+      const std::vector<int>& idx_order,
+      const std::vector<std::int64_t>& dims) const;
+  void split_access(const std::vector<int>& ids,
+                    const std::vector<std::int64_t>& strides,
+                    const std::vector<int>& inner_chain, CAccess* access);
+
+  void run_actions(Runtime& rt, const std::vector<CActionRef>& body) const;
+  void run_loop(Runtime& rt, const CLoop& loop, std::int64_t begin,
+                std::int64_t end) const;
+  void run_term(Runtime& rt, const CTerm& t) const;
+  void run_inner(const CTerm& t, std::size_t level, const double* lhs,
+                 const double* rhs, double* out) const;
+  const double* resolve(const Runtime& rt, const CAccess& a) const;
+  double* resolve_mut(const Runtime& rt, const CAccess& a) const;
+};
+
+FusedExecutor::FusedExecutor(const Kernel& kernel,
+                             const ContractionPath& path,
+                             const LoopOrder& order, bool collapse_dense)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->kernel = kernel;
+  impl_->path = path;
+  impl_->collapse_dense = collapse_dense;
+  impl_->tree = LoopTree::build(kernel, path, order);
+  impl_->compile(order);
+}
+
+FusedExecutor::~FusedExecutor() = default;
+FusedExecutor::FusedExecutor(FusedExecutor&&) noexcept = default;
+FusedExecutor& FusedExecutor::operator=(FusedExecutor&&) noexcept = default;
+
+const LoopTree& FusedExecutor::tree() const { return impl_->tree; }
+int FusedExecutor::offloaded_terms() const { return impl_->offloaded_terms; }
+int FusedExecutor::collapsed_loops() const { return impl_->collapsed_loops; }
+
+std::vector<std::int64_t> FusedExecutor::Impl::strides_for(
+    const std::vector<int>& idx_order,
+    const std::vector<std::int64_t>& dims) const {
+  std::vector<std::int64_t> strides(idx_order.size());
+  std::int64_t s = 1;
+  for (std::size_t m = idx_order.size(); m-- > 0;) {
+    strides[m] = s;
+    s *= dims[m];
+  }
+  return strides;
+}
+
+void FusedExecutor::Impl::split_access(
+    const std::vector<int>& ids, const std::vector<std::int64_t>& strides,
+    const std::vector<int>& inner_chain, CAccess* access) {
+  access->inner.assign(inner_chain.size(), 0);
+  for (std::size_t m = 0; m < ids.size(); ++m) {
+    const auto it =
+        std::find(inner_chain.begin(), inner_chain.end(), ids[m]);
+    if (it != inner_chain.end()) {
+      access->inner[static_cast<std::size_t>(it - inner_chain.begin())] =
+          strides[m];
+    } else {
+      access->outer.emplace_back(ids[m], strides[m]);
+    }
+  }
+}
+
+CAccess FusedExecutor::Impl::make_access(const PathOperand& op,
+                                         const std::vector<int>& inner_chain) {
+  CAccess a;
+  if (op.kind == PathOperand::Kind::kInput) {
+    if (op.id == kernel.sparse_input()) {
+      a.base = Base::kSparseVal;
+      a.inner.assign(inner_chain.size(), 0);
+      return a;
+    }
+    a.base = Base::kDense;
+    a.id = op.id;
+    const auto& ref = kernel.input(op.id);
+    std::vector<std::int64_t> dims(ref.idx.size());
+    for (std::size_t m = 0; m < ref.idx.size(); ++m) {
+      dims[m] = kernel.index_dim(ref.idx[m]);
+    }
+    split_access(ref.idx, strides_for(ref.idx, dims), inner_chain, &a);
+    return a;
+  }
+  // Intermediate buffer produced by an earlier term.
+  a.base = Base::kBuffer;
+  a.id = op.id;
+  const BufferSpec& spec = tree.buffers()[static_cast<std::size_t>(op.id)];
+  split_access(spec.indices, strides_for(spec.indices, spec.dims),
+               inner_chain, &a);
+  return a;
+}
+
+CAccess FusedExecutor::Impl::make_out_access(
+    int term_id, const std::vector<int>& inner_chain) {
+  CAccess a;
+  if (term_id + 1 < path.num_terms()) {
+    a.base = Base::kBuffer;
+    a.id = term_id;
+    const BufferSpec& spec =
+        tree.buffers()[static_cast<std::size_t>(term_id)];
+    split_access(spec.indices, strides_for(spec.indices, spec.dims),
+                 inner_chain, &a);
+    return a;
+  }
+  if (kernel.output_is_sparse()) {
+    a.base = Base::kOutSparse;
+    a.inner.assign(inner_chain.size(), 0);
+    return a;
+  }
+  a.base = Base::kOutDense;
+  const auto& ref = kernel.output();
+  std::vector<std::int64_t> dims(ref.idx.size());
+  for (std::size_t m = 0; m < ref.idx.size(); ++m) {
+    dims[m] = kernel.index_dim(ref.idx[m]);
+  }
+  split_access(ref.idx, strides_for(ref.idx, dims), inner_chain, &a);
+  return a;
+}
+
+void FusedExecutor::Impl::compile(const LoopOrder& order) {
+  (void)order;
+  // Record buffer sizes (storage itself lives in each Runtime).
+  buffer_len.assign(static_cast<std::size_t>(path.num_terms()), 0);
+  for (const BufferSpec& spec : tree.buffers()) {
+    if (spec.producer < 0) continue;
+    buffer_len[static_cast<std::size_t>(spec.producer)] = spec.size;
+  }
+
+  // Try to collapse a node's entire subtree into a dense single-term chain:
+  // returns the chain of loop indices when the subtree is a pure chain of
+  // dense loops ending at exactly one term (no resets inside).
+  const auto try_collapse =
+      [&](int node_id, std::vector<int>* chain) -> int /*term or -1*/ {
+    int cur = node_id;
+    while (true) {
+      const LoopTree::Node& n =
+          tree.nodes()[static_cast<std::size_t>(cur)];
+      if (n.sparse || n.body.size() != 1) return -1;
+      chain->push_back(n.index);
+      const LoopTree::Action& a = n.body.front();
+      if (a.kind == LoopTree::Action::Kind::kTerm) return a.id;
+      if (a.kind != LoopTree::Action::Kind::kLoop) return -1;
+      cur = a.id;
+    }
+  };
+
+  const auto make_term = [&](int term_id, const std::vector<int>& chain) {
+    CTerm t;
+    t.term_id = term_id;
+    t.extent.reserve(chain.size());
+    for (int id : chain) {
+      t.extent.push_back(kernel.index_dim(id));
+    }
+    const PathTerm& term = path.term(term_id);
+    t.lhs = make_access(term.lhs, chain);
+    t.rhs = make_access(term.rhs, chain);
+    t.out = make_out_access(term_id, chain);
+    if (!chain.empty()) {
+      ++offloaded_terms;
+      collapsed_loops += static_cast<int>(chain.size());
+    }
+    terms.push_back(std::move(t));
+    return static_cast<int>(terms.size()) - 1;
+  };
+
+  const auto compile_body = [&](auto&& self,
+                                const std::vector<LoopTree::Action>& body)
+      -> std::vector<CActionRef> {
+    std::vector<CActionRef> out;
+    for (const auto& a : body) {
+      switch (a.kind) {
+        case LoopTree::Action::Kind::kTerm:
+          out.push_back(
+              {CActionRef::Kind::kTerm, make_term(a.id, {})});
+          break;
+        case LoopTree::Action::Kind::kReset:
+          out.push_back({CActionRef::Kind::kReset, a.id});
+          break;
+        case LoopTree::Action::Kind::kLoop: {
+          std::vector<int> chain;
+          const int term_id =
+              collapse_dense ? try_collapse(a.id, &chain) : -1;
+          if (term_id >= 0) {
+            out.push_back(
+                {CActionRef::Kind::kTerm, make_term(term_id, chain)});
+            break;
+          }
+          const LoopTree::Node& n =
+              tree.nodes()[static_cast<std::size_t>(a.id)];
+          CLoop loop;
+          loop.index = n.index;
+          loop.sparse = n.sparse;
+          loop.csf_level = n.csf_level;
+          loop.extent = kernel.index_dim(n.index);
+          loop.body = self(self, n.body);
+          loops.push_back(std::move(loop));
+          out.push_back(
+              {CActionRef::Kind::kLoop, static_cast<int>(loops.size()) - 1});
+          break;
+        }
+      }
+    }
+    return out;
+  };
+  top = compile_body(compile_body, tree.top());
+}
+
+const double* FusedExecutor::Impl::resolve(const Runtime& rt,
+                                           const CAccess& a) const {
+  const double* base = nullptr;
+  switch (a.base) {
+    case Base::kDense:
+      base = rt.dense_data[static_cast<std::size_t>(a.id)];
+      break;
+    case Base::kBuffer:
+      base = rt.buffers[static_cast<std::size_t>(a.id)].data();
+      break;
+    case Base::kSparseVal:
+      return rt.csf->vals().data() + rt.csf_node.back();
+    case Base::kOutDense:
+      base = rt.out_dense_data;
+      break;
+    case Base::kOutSparse:
+      return rt.out_sparse_data + rt.csf_node.back();
+  }
+  std::int64_t off = 0;
+  for (const auto& [id, stride] : a.outer) {
+    off += rt.idx_val[static_cast<std::size_t>(id)] * stride;
+  }
+  return base + off;
+}
+
+double* FusedExecutor::Impl::resolve_mut(const Runtime& rt,
+                                         const CAccess& a) const {
+  return const_cast<double*>(resolve(rt, a));
+}
+
+void FusedExecutor::Impl::run_inner(const CTerm& t, std::size_t level,
+                                    const double* lhs, const double* rhs,
+                                    double* out) const {
+  const std::size_t depth = t.extent.size();
+  if (level == depth) {
+    *out += *lhs * *rhs;
+    return;
+  }
+  const std::int64_t n = t.extent[level];
+  const std::int64_t sl = t.lhs.inner[level];
+  const std::int64_t sr = t.rhs.inner[level];
+  const std::int64_t so = t.out.inner[level];
+  if (level + 1 == depth) {
+    // Innermost loop: dispatch to a strided BLAS-style kernel.
+    if (so == 0) {
+      *out += xdot(n, lhs, sl, rhs, sr);
+    } else if (sl == 0) {
+      xaxpy(n, *lhs, rhs, sr, out, so);
+    } else if (sr == 0) {
+      xaxpy(n, *rhs, lhs, sl, out, so);
+    } else {
+      xhad(n, 1.0, lhs, sl, rhs, sr, out, so);
+    }
+    return;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    run_inner(t, level + 1, lhs + i * sl, rhs + i * sr, out + i * so);
+  }
+}
+
+void FusedExecutor::Impl::run_term(Runtime& rt, const CTerm& t) const {
+  run_inner(t, 0, resolve(rt, t.lhs), resolve(rt, t.rhs),
+            resolve_mut(rt, t.out));
+}
+
+void FusedExecutor::Impl::run_loop(Runtime& rt, const CLoop& loop,
+                                   std::int64_t begin,
+                                   std::int64_t end) const {
+  if (loop.sparse) {
+    const int lvl = loop.csf_level;
+    const auto idx = rt.csf->level_idx(lvl);
+    for (std::int64_t n = begin; n < end; ++n) {
+      rt.idx_val[static_cast<std::size_t>(loop.index)] =
+          idx[static_cast<std::size_t>(n)];
+      rt.csf_node[static_cast<std::size_t>(lvl)] = n;
+      run_actions(rt, loop.body);
+    }
+  } else {
+    auto& v = rt.idx_val[static_cast<std::size_t>(loop.index)];
+    for (std::int64_t i = begin; i < end; ++i) {
+      v = i;
+      run_actions(rt, loop.body);
+    }
+  }
+}
+
+void FusedExecutor::Impl::run_actions(
+    Runtime& rt, const std::vector<CActionRef>& body) const {
+  for (const CActionRef& a : body) {
+    switch (a.kind) {
+      case CActionRef::Kind::kTerm:
+        run_term(rt, terms[static_cast<std::size_t>(a.id)]);
+        break;
+      case CActionRef::Kind::kReset: {
+        auto& buf = rt.buffers[static_cast<std::size_t>(a.id)];
+        xzero(buffer_len[static_cast<std::size_t>(a.id)], buf.data(), 1);
+        break;
+      }
+      case CActionRef::Kind::kLoop: {
+        const CLoop& loop = loops[static_cast<std::size_t>(a.id)];
+        std::int64_t begin = 0;
+        std::int64_t end = 0;
+        if (loop.sparse) {
+          const int lvl = loop.csf_level;
+          if (lvl == 0) {
+            end = rt.csf->num_nodes(0);
+          } else {
+            const auto ptr = rt.csf->level_ptr(lvl - 1);
+            const std::int64_t parent =
+                rt.csf_node[static_cast<std::size_t>(lvl - 1)];
+            begin = ptr[static_cast<std::size_t>(parent)];
+            end = ptr[static_cast<std::size_t>(parent + 1)];
+          }
+        } else {
+          end = loop.extent;
+        }
+        run_loop(rt, loop, begin, end);
+        break;
+      }
+    }
+  }
+}
+
+void FusedExecutor::execute(const ExecArgs& args) {
+  Impl& im = *impl_;
+  const Kernel& k = im.kernel;
+  SPTTN_CHECK_MSG(args.sparse != nullptr, "sparse operand not bound");
+  const CsfTensor& csf = *args.sparse;
+  SPTTN_CHECK_MSG(csf.order() == k.sparse_ref().order(),
+                  "CSF order mismatch with kernel sparse operand");
+  for (int l = 0; l < csf.order(); ++l) {
+    SPTTN_CHECK_MSG(
+        csf.level_dims()[static_cast<std::size_t>(l)] ==
+            k.index_dim(k.sparse_ref().idx[static_cast<std::size_t>(l)]),
+        "CSF level " << l << " dimension mismatch");
+    SPTTN_CHECK_MSG(csf.mode_order()[static_cast<std::size_t>(l)] == l,
+                    "CSF must be built in the kernel's sparse index order");
+  }
+  SPTTN_CHECK_MSG(static_cast<int>(args.dense.size()) == k.num_inputs(),
+                  "expected one dense slot per kernel input");
+  Impl::Runtime rt = im.make_runtime();
+  rt.dense_data.assign(args.dense.size(), nullptr);
+  for (int i = 0; i < k.num_inputs(); ++i) {
+    if (i == k.sparse_input()) continue;
+    const DenseTensor* d = args.dense[static_cast<std::size_t>(i)];
+    SPTTN_CHECK_MSG(d != nullptr,
+                    "dense input '" << k.input(i).name << "' not bound");
+    const auto& ref = k.input(i);
+    SPTTN_CHECK_MSG(d->order() == ref.order(),
+                    "dense input '" << ref.name << "' order mismatch");
+    for (int m = 0; m < ref.order(); ++m) {
+      SPTTN_CHECK_MSG(
+          d->dim(m) == k.index_dim(ref.idx[static_cast<std::size_t>(m)]),
+          "dense input '" << ref.name << "' dim mismatch in mode " << m);
+    }
+    rt.dense_data[static_cast<std::size_t>(i)] = d->data();
+  }
+
+  if (k.output_is_sparse()) {
+    SPTTN_CHECK_MSG(static_cast<std::int64_t>(args.out_sparse.size()) ==
+                        csf.nnz(),
+                    "sparse output must have one value per nonzero");
+    rt.out_sparse_data = args.out_sparse.data();
+    rt.out_dense_data = nullptr;
+    if (!args.accumulate) {
+      xzero(csf.nnz(), rt.out_sparse_data, 1);
+    }
+  } else {
+    SPTTN_CHECK_MSG(args.out_dense != nullptr, "dense output not bound");
+    const auto& ref = k.output();
+    SPTTN_CHECK_MSG(args.out_dense->order() == ref.order(),
+                    "output order mismatch");
+    for (int m = 0; m < ref.order(); ++m) {
+      SPTTN_CHECK_MSG(args.out_dense->dim(m) ==
+                          k.index_dim(ref.idx[static_cast<std::size_t>(m)]),
+                      "output dim mismatch in mode " << m);
+    }
+    rt.out_dense_data = args.out_dense->data();
+    rt.out_sparse_data = nullptr;
+    if (!args.accumulate) args.out_dense->zero();
+  }
+
+  rt.csf = &csf;
+
+  // --- Parallel path: split the single root loop across worker threads.
+  // Each worker owns a Runtime (private buffers); sparse-output writes are
+  // disjoint per root subtree; dense outputs accumulate into per-thread
+  // partials summed after the join. Falls back to sequential execution for
+  // multi-root forests (buffers may cross root trees there).
+  const int want_threads = std::max(1, args.num_threads);
+  const bool parallelizable =
+      want_threads > 1 && im.top.size() == 1 &&
+      im.top[0].kind == CActionRef::Kind::kLoop;
+  if (parallelizable) {
+    const CLoop& root = im.loops[static_cast<std::size_t>(im.top[0].id)];
+    SPTTN_CHECK_MSG(!root.sparse || root.csf_level == 0,
+                    "root CSF loop must be level 0");
+    const std::int64_t extent =
+        root.sparse ? csf.num_nodes(0) : root.extent;
+    const int threads =
+        static_cast<int>(std::min<std::int64_t>(want_threads, extent));
+    if (threads > 1) {
+      const std::int64_t out_len =
+          k.output_is_sparse() ? 0 : args.out_dense->size();
+      std::vector<std::vector<double>> partials(
+          static_cast<std::size_t>(threads));
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int w = 0; w < threads; ++w) {
+        const std::int64_t begin = extent * w / threads;
+        const std::int64_t end = extent * (w + 1) / threads;
+        workers.emplace_back([&, w, begin, end] {
+          Impl::Runtime wrt = im.make_runtime();
+          wrt.dense_data = rt.dense_data;
+          wrt.csf = rt.csf;
+          wrt.out_sparse_data = rt.out_sparse_data;
+          if (out_len > 0) {
+            partials[static_cast<std::size_t>(w)]
+                .assign(static_cast<std::size_t>(out_len), 0.0);
+            wrt.out_dense_data = partials[static_cast<std::size_t>(w)].data();
+          }
+          im.run_loop(wrt, root, begin, end);
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      if (out_len > 0) {
+        for (const auto& partial : partials) {
+          xaxpy(out_len, 1.0, partial.data(), 1, rt.out_dense_data, 1);
+        }
+      }
+      return;
+    }
+  }
+
+  im.run_actions(rt, im.top);
+}
+
+std::string FusedExecutor::describe(const Kernel& kernel) const {
+  std::ostringstream os;
+  os << impl_->tree.render(kernel, impl_->path);
+  os << "offloaded terms: " << impl_->offloaded_terms << " (collapsed "
+     << impl_->collapsed_loops << " dense loops)\n";
+  return os.str();
+}
+
+}  // namespace spttn

@@ -1,0 +1,80 @@
+// Fused loop-nest executor — the runtime half of SpTTN-Cyclops
+// (paper Section 5, Algorithm 2).
+//
+// Stage 1 (construction) compiles a LoopTree into a flat program: loops are
+// tagged as CSF traversals or dense ranges, buffers are allocated, reset
+// actions are placed, and trailing dense loops exclusive to one term are
+// collapsed into strided inner kernels (the runtime analogue of the paper's
+// metaprogramming + BLAS hooks). Stage 2 (execute) interprets the program
+// against bound tensors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/loop_tree.hpp"
+#include "core/planner.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// Tensor bindings for one execution.
+struct ExecArgs {
+  /// CSF of the sparse operand; its mode order must match the order of the
+  /// sparse tensor's indices in the kernel expression.
+  const CsfTensor* sparse = nullptr;
+  /// One entry per kernel input; the sparse slot is ignored (may be null).
+  std::vector<const DenseTensor*> dense;
+  /// Output when the kernel output is dense.
+  DenseTensor* out_dense = nullptr;
+  /// Output values aligned with the CSF nonzeros when the output shares the
+  /// sparse operand's pattern (e.g. TTTP).
+  std::span<double> out_sparse;
+  /// Accumulate into the output instead of zeroing it first.
+  bool accumulate = false;
+  /// Worker threads for the root loop (shared-memory parallelism; each
+  /// worker owns private intermediates, dense outputs are tree-reduced).
+  /// 1 = sequential. Falls back to sequential for multi-root loop forests.
+  int num_threads = 1;
+};
+
+/// Executes one fully-fused loop nest for an SpTTN kernel.
+class FusedExecutor {
+ public:
+  /// Compile the nest for (path, order). The kernel must have bound dims.
+  /// `collapse_dense` disables the inner-kernel offload when false (used by
+  /// the ablation benchmarks to isolate the BLAS-hook benefit).
+  FusedExecutor(const Kernel& kernel, const ContractionPath& path,
+                const LoopOrder& order, bool collapse_dense = true);
+
+  /// Convenience constructor from a planner result.
+  FusedExecutor(const Kernel& kernel, const Plan& plan)
+      : FusedExecutor(kernel, plan.path, plan.order) {}
+
+  ~FusedExecutor();
+  FusedExecutor(FusedExecutor&&) noexcept;
+  FusedExecutor& operator=(FusedExecutor&&) noexcept;
+
+  /// Run the kernel. Validates all bindings against the kernel shape.
+  void execute(const ExecArgs& args);
+
+  const LoopTree& tree() const;
+
+  /// Number of terms whose inner loops were collapsed into strided kernels,
+  /// and the total count of collapsed loops (diagnostics).
+  int offloaded_terms() const;
+  int collapsed_loops() const;
+
+  std::string describe(const Kernel& kernel) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spttn

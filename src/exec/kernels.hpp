@@ -1,0 +1,46 @@
+// Internal BLAS-style kernels for the innermost dense loops.
+//
+// The paper offloads independent dense loops to BLAS (xAXPY, xGER, and a
+// manually implemented xAXPY on their machines); this repository has no
+// external BLAS, so these routines play that role. All take explicit
+// strides; unit-stride fast paths are specialized.
+#pragma once
+
+#include <cstdint>
+
+namespace spttn {
+
+/// y[i*sy] += alpha * x[i*sx]  (BLAS-1 AXPY)
+void xaxpy(std::int64_t n, double alpha, const double* x, std::int64_t sx,
+           double* y, std::int64_t sy);
+
+/// return sum_i x[i*sx] * y[i*sy]  (BLAS-1 DOT)
+double xdot(std::int64_t n, const double* x, std::int64_t sx, const double* y,
+            std::int64_t sy);
+
+/// z[i*sz] += alpha * x[i*sx] * y[i*sy]  (elementwise triple / Hadamard
+/// accumulate; used when producer terms multiply two factor rows)
+void xhad(std::int64_t n, double alpha, const double* x, std::int64_t sx,
+          const double* y, std::int64_t sy, double* z, std::int64_t sz);
+
+/// a[i*sam + j*san] += alpha * x[i*sx] * y[j*sy]  (BLAS-2 GER)
+void xger(std::int64_t m, std::int64_t n, double alpha, const double* x,
+          std::int64_t sx, const double* y, std::int64_t sy, double* a,
+          std::int64_t sam, std::int64_t san);
+
+/// y[i*sy] += alpha * sum_j a[i*sam + j*san] * x[j*sx]  (BLAS-2 GEMV)
+void xgemv(std::int64_t m, std::int64_t n, double alpha, const double* a,
+           std::int64_t sam, std::int64_t san, const double* x,
+           std::int64_t sx, double* y, std::int64_t sy);
+
+/// c[i*scm + j*scn] += alpha * sum_k a[i*sam + k*sak] * b[k*sbk + j*sbn]
+/// (BLAS-3 GEMM, ikj loop order with blocking on k)
+void xgemm(std::int64_t m, std::int64_t n, std::int64_t k, double alpha,
+           const double* a, std::int64_t sam, std::int64_t sak,
+           const double* b, std::int64_t sbk, std::int64_t sbn, double* c,
+           std::int64_t scm, std::int64_t scn);
+
+/// y[i*sy] = 0
+void xzero(std::int64_t n, double* y, std::int64_t sy);
+
+}  // namespace spttn

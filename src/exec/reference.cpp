@@ -1,0 +1,73 @@
+#include "exec/reference.hpp"
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+void reference_execute(const Kernel& kernel, const CooTensor& sparse,
+                       std::span<const DenseTensor* const> dense,
+                       DenseTensor* out_dense, std::span<double> out_sparse) {
+  SPTTN_CHECK(kernel.dims_bound());
+  SPTTN_CHECK(static_cast<int>(dense.size()) == kernel.num_inputs());
+  const bool sparse_out = kernel.output_is_sparse();
+  if (sparse_out) {
+    SPTTN_CHECK(static_cast<std::int64_t>(out_sparse.size()) == sparse.nnz());
+    for (double& v : out_sparse) v = 0;
+  } else {
+    SPTTN_CHECK(out_dense != nullptr);
+    out_dense->zero();
+  }
+
+  const std::vector<int> dense_ids = kernel.dense_only_indices().to_vector();
+  std::vector<std::int64_t> idx_val(
+      static_cast<std::size_t>(kernel.num_indices()), 0);
+
+  // Multi-index scratch for tensor accesses.
+  std::vector<std::int64_t> access;
+
+  const auto input_value = [&](int i) -> double {
+    const TensorRef& ref = kernel.input(i);
+    access.clear();
+    for (int id : ref.idx) {
+      access.push_back(idx_val[static_cast<std::size_t>(id)]);
+    }
+    return dense[static_cast<std::size_t>(i)]->at(access);
+  };
+
+  for (std::int64_t e = 0; e < sparse.nnz(); ++e) {
+    const auto coord = sparse.coord(e);
+    for (int l = 0; l < sparse.order(); ++l) {
+      idx_val[static_cast<std::size_t>(
+          kernel.sparse_ref().idx[static_cast<std::size_t>(l)])] =
+          coord[static_cast<std::size_t>(l)];
+    }
+    // Recurse over the dense-only indices.
+    const auto loop = [&](auto&& self, std::size_t level) -> void {
+      if (level == dense_ids.size()) {
+        double prod = sparse.value(e);
+        for (int i = 0; i < kernel.num_inputs(); ++i) {
+          if (i == kernel.sparse_input()) continue;
+          prod *= input_value(i);
+        }
+        if (sparse_out) {
+          out_sparse[static_cast<std::size_t>(e)] += prod;
+        } else {
+          access.clear();
+          for (int id : kernel.output().idx) {
+            access.push_back(idx_val[static_cast<std::size_t>(id)]);
+          }
+          out_dense->at(access) += prod;
+        }
+        return;
+      }
+      const int id = dense_ids[level];
+      for (std::int64_t v = 0; v < kernel.index_dim(id); ++v) {
+        idx_val[static_cast<std::size_t>(id)] = v;
+        self(self, level + 1);
+      }
+    };
+    loop(loop, 0);
+  }
+}
+
+}  // namespace spttn

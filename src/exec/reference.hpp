@@ -1,0 +1,24 @@
+// Exact reference executor — the gold model for all correctness tests.
+//
+// Iterates the COO nonzeros directly and the dense-only indices exhaustively,
+// computing the full input product per point. Deliberately shares no code
+// with the fused executor so the two can check each other.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// Execute `kernel` exactly. `dense` holds one entry per kernel input (the
+/// sparse slot is ignored). Exactly one of out_dense / out_sparse is used,
+/// depending on kernel.output_is_sparse(); outputs are zeroed first.
+void reference_execute(const Kernel& kernel, const CooTensor& sparse,
+                       std::span<const DenseTensor* const> dense,
+                       DenseTensor* out_dense, std::span<double> out_sparse);
+
+}  // namespace spttn

@@ -1,0 +1,62 @@
+#include "exec/schedules.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Term loop order: sparse modes in CSF order first, then dense indices in
+/// ascending id order.
+std::vector<int> csf_then_dense(const Kernel& kernel, const PathTerm& term) {
+  std::vector<int> order;
+  for (int id : kernel.sparse_ref().idx) {
+    if (term.refs.contains(id)) order.push_back(id);
+  }
+  for (int id : term.refs.elements()) {
+    if (kernel.csf_level(id) < 0) order.push_back(id);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::pair<ContractionPath, LoopOrder> sparselnr_schedule(
+    const Kernel& kernel) {
+  ContractionPath path = chain_path(kernel);
+  LoopOrder order;
+  order.reserve(static_cast<std::size_t>(path.num_terms()));
+  for (int t = 0; t < path.num_terms(); ++t) {
+    order.push_back(csf_then_dense(kernel, path.term(t)));
+  }
+  return {std::move(path), std::move(order)};
+}
+
+std::pair<ContractionPath, LoopOrder> unfused_pairwise_schedule(
+    const Kernel& kernel) {
+  ContractionPath path = chain_path(kernel);
+  LoopOrder order;
+  order.reserve(static_cast<std::size_t>(path.num_terms()));
+  for (int t = 0; t < path.num_terms(); ++t) {
+    std::vector<int> o = csf_then_dense(kernel, path.term(t));
+    // Break fusion with the previous term by rotating a dense index to the
+    // front when one exists; otherwise the shared sparse prefix will fuse
+    // (fusion cannot be avoided for fully sparse terms without changing
+    // CSF order).
+    if (t > 0) {
+      const auto dense_it =
+          std::find_if(o.begin(), o.end(), [&](int id) {
+            return kernel.csf_level(id) < 0;
+          });
+      if (dense_it != o.end()) {
+        std::rotate(o.begin(), dense_it, dense_it + 1);
+      }
+    }
+    order.push_back(std::move(o));
+  }
+  return {std::move(path), std::move(order)};
+}
+
+}  // namespace spttn

@@ -1,0 +1,31 @@
+// Baseline schedule constructors (paper Sections 2.4.3 and 7).
+//
+// These build (path, order) pairs the way the compared frameworks would,
+// then run on the same fused executor, isolating the scheduling decision —
+// which is exactly what the paper's comparison attributes the speedups to.
+#pragma once
+
+#include <utility>
+
+#include "core/contraction_path.hpp"
+#include "core/loop_order.hpp"
+
+namespace spttn {
+
+/// SparseLNR-style schedule: contract the sparse tensor with the dense
+/// factors in expression order; each term's loops are (sparse modes in CSF
+/// order, then dense indices), so only the outermost shared index fuses and
+/// intermediates span the remaining shared indices (e.g. the K x R workspace
+/// the paper describes for order-3 TTMc). Sparse modes out of CSF position
+/// iterate densely, reproducing SparseLNR/TACO workspace behaviour.
+std::pair<ContractionPath, LoopOrder> sparselnr_schedule(const Kernel& kernel);
+
+/// Factorize-and-fuse schedule with the chain path but *unfused* loop nests
+/// (paper Listing 2 / Figure 1a): each pairwise contraction keeps an
+/// independent loop nest, so intermediates are materialized at full size.
+/// Dense buffers stand in for CTF's sparse intermediates; useful to isolate
+/// the benefit of fusion alone.
+std::pair<ContractionPath, LoopOrder> unfused_pairwise_schedule(
+    const Kernel& kernel);
+
+}  // namespace spttn

@@ -1,0 +1,150 @@
+#include "exec/specialized.hpp"
+
+#include <vector>
+
+#include "exec/kernels.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+
+void splatt_mttkrp3(const CsfTensor& t, const DenseTensor& b,
+                    const DenseTensor& c, DenseTensor* a) {
+  SPTTN_CHECK(t.order() == 3);
+  const std::int64_t rank = a->dim(1);
+  SPTTN_CHECK(b.dim(1) == rank && c.dim(1) == rank);
+  a->zero();
+  const auto i_idx = t.level_idx(0);
+  const auto i_ptr = t.level_ptr(0);
+  const auto j_idx = t.level_idx(1);
+  const auto j_ptr = t.level_ptr(1);
+  const auto k_idx = t.level_idx(2);
+  const auto vals = t.vals();
+  std::vector<double> acc(static_cast<std::size_t>(rank));
+  for (std::int64_t ni = 0; ni < t.num_nodes(0); ++ni) {
+    double* arow = a->data() + i_idx[static_cast<std::size_t>(ni)] * rank;
+    for (std::int64_t nj = i_ptr[static_cast<std::size_t>(ni)];
+         nj < i_ptr[static_cast<std::size_t>(ni + 1)]; ++nj) {
+      xzero(rank, acc.data(), 1);
+      for (std::int64_t nk = j_ptr[static_cast<std::size_t>(nj)];
+           nk < j_ptr[static_cast<std::size_t>(nj + 1)]; ++nk) {
+        const double* crow =
+            c.data() + k_idx[static_cast<std::size_t>(nk)] * rank;
+        xaxpy(rank, vals[static_cast<std::size_t>(nk)], crow, 1, acc.data(),
+              1);
+      }
+      const double* brow =
+          b.data() + j_idx[static_cast<std::size_t>(nj)] * rank;
+      xhad(rank, 1.0, acc.data(), 1, brow, 1, arow, 1);
+    }
+  }
+}
+
+void splatt_mttkrp4(const CsfTensor& t, const DenseTensor& b,
+                    const DenseTensor& c, const DenseTensor& d,
+                    DenseTensor* a) {
+  SPTTN_CHECK(t.order() == 4);
+  const std::int64_t rank = a->dim(1);
+  a->zero();
+  const auto i_idx = t.level_idx(0);
+  const auto i_ptr = t.level_ptr(0);
+  const auto j_idx = t.level_idx(1);
+  const auto j_ptr = t.level_ptr(1);
+  const auto k_idx = t.level_idx(2);
+  const auto k_ptr = t.level_ptr(2);
+  const auto l_idx = t.level_idx(3);
+  const auto vals = t.vals();
+  std::vector<double> acc_j(static_cast<std::size_t>(rank));
+  std::vector<double> acc_k(static_cast<std::size_t>(rank));
+  for (std::int64_t ni = 0; ni < t.num_nodes(0); ++ni) {
+    double* arow = a->data() + i_idx[static_cast<std::size_t>(ni)] * rank;
+    for (std::int64_t nj = i_ptr[static_cast<std::size_t>(ni)];
+         nj < i_ptr[static_cast<std::size_t>(ni + 1)]; ++nj) {
+      xzero(rank, acc_j.data(), 1);
+      for (std::int64_t nk = j_ptr[static_cast<std::size_t>(nj)];
+           nk < j_ptr[static_cast<std::size_t>(nj + 1)]; ++nk) {
+        xzero(rank, acc_k.data(), 1);
+        for (std::int64_t nl = k_ptr[static_cast<std::size_t>(nk)];
+             nl < k_ptr[static_cast<std::size_t>(nk + 1)]; ++nl) {
+          const double* drow =
+              d.data() + l_idx[static_cast<std::size_t>(nl)] * rank;
+          xaxpy(rank, vals[static_cast<std::size_t>(nl)], drow, 1,
+                acc_k.data(), 1);
+        }
+        const double* crow =
+            c.data() + k_idx[static_cast<std::size_t>(nk)] * rank;
+        xhad(rank, 1.0, acc_k.data(), 1, crow, 1, acc_j.data(), 1);
+      }
+      const double* brow =
+          b.data() + j_idx[static_cast<std::size_t>(nj)] * rank;
+      xhad(rank, 1.0, acc_j.data(), 1, brow, 1, arow, 1);
+    }
+  }
+}
+
+void ttmc3_specialized(const CsfTensor& t, const DenseTensor& u,
+                       const DenseTensor& v, DenseTensor* s) {
+  SPTTN_CHECK(t.order() == 3);
+  const std::int64_t r = u.dim(1);
+  const std::int64_t sd = v.dim(1);
+  SPTTN_CHECK(s->dim(1) == r && s->dim(2) == sd);
+  s->zero();
+  const auto i_idx = t.level_idx(0);
+  const auto i_ptr = t.level_ptr(0);
+  const auto j_idx = t.level_idx(1);
+  const auto j_ptr = t.level_ptr(1);
+  const auto k_idx = t.level_idx(2);
+  const auto vals = t.vals();
+  std::vector<double> x(static_cast<std::size_t>(sd));
+  for (std::int64_t ni = 0; ni < t.num_nodes(0); ++ni) {
+    double* si = s->data() + i_idx[static_cast<std::size_t>(ni)] * r * sd;
+    for (std::int64_t nj = i_ptr[static_cast<std::size_t>(ni)];
+         nj < i_ptr[static_cast<std::size_t>(ni + 1)]; ++nj) {
+      xzero(sd, x.data(), 1);
+      for (std::int64_t nk = j_ptr[static_cast<std::size_t>(nj)];
+           nk < j_ptr[static_cast<std::size_t>(nj + 1)]; ++nk) {
+        const double* vrow =
+            v.data() + k_idx[static_cast<std::size_t>(nk)] * sd;
+        xaxpy(sd, vals[static_cast<std::size_t>(nk)], vrow, 1, x.data(), 1);
+      }
+      const double* urow =
+          u.data() + j_idx[static_cast<std::size_t>(nj)] * r;
+      // S(i,:,:) += urow ⊗ x  (rank-1 update)
+      xger(r, sd, 1.0, urow, 1, x.data(), 1, si, sd, 1);
+    }
+  }
+}
+
+void tttp3_specialized(const CsfTensor& t, const DenseTensor& u,
+                       const DenseTensor& v, const DenseTensor& w,
+                       std::span<double> out) {
+  SPTTN_CHECK(t.order() == 3);
+  SPTTN_CHECK(static_cast<std::int64_t>(out.size()) == t.nnz());
+  const std::int64_t rank = u.dim(1);
+  const auto i_idx = t.level_idx(0);
+  const auto i_ptr = t.level_ptr(0);
+  const auto j_idx = t.level_idx(1);
+  const auto j_ptr = t.level_ptr(1);
+  const auto k_idx = t.level_idx(2);
+  const auto vals = t.vals();
+  std::vector<double> uv(static_cast<std::size_t>(rank));
+  for (std::int64_t ni = 0; ni < t.num_nodes(0); ++ni) {
+    const double* urow = u.data() + i_idx[static_cast<std::size_t>(ni)] * rank;
+    for (std::int64_t nj = i_ptr[static_cast<std::size_t>(ni)];
+         nj < i_ptr[static_cast<std::size_t>(ni + 1)]; ++nj) {
+      const double* vrow =
+          v.data() + j_idx[static_cast<std::size_t>(nj)] * rank;
+      xzero(rank, uv.data(), 1);
+      xhad(rank, 1.0, urow, 1, vrow, 1, uv.data(), 1);
+      for (std::int64_t nk = j_ptr[static_cast<std::size_t>(nj)];
+           nk < j_ptr[static_cast<std::size_t>(nj + 1)]; ++nk) {
+        const double* wrow =
+            w.data() + k_idx[static_cast<std::size_t>(nk)] * rank;
+        out[static_cast<std::size_t>(nk)] =
+            vals[static_cast<std::size_t>(nk)] *
+            xdot(rank, uv.data(), 1, wrow, 1);
+      }
+    }
+  }
+}
+
+}  // namespace spttn

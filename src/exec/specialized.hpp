@@ -1,0 +1,33 @@
+// Hand-tuned kernels in the style of specialized libraries.
+//
+// splatt_mttkrp* mirror SPLATT's CSF MTTKRP (factored, fused, stack of
+// rank-length accumulators); ttmc3_specialized mirrors the hand-written
+// TTMc codes of Tucker libraries. They are the "specialized implementation"
+// comparison points of the paper's Figure 7 and Section 7.
+#pragma once
+
+#include "tensor/csf_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+
+namespace spttn {
+
+/// A(i,r) = sum_{j,k} T(i,j,k) * B(j,r) * C(k,r); T given as CSF (i,j,k).
+void splatt_mttkrp3(const CsfTensor& t, const DenseTensor& b,
+                    const DenseTensor& c, DenseTensor* a);
+
+/// A(i,r) = sum_{j,k,l} T(i,j,k,l) * B(j,r) * C(k,r) * D(l,r).
+void splatt_mttkrp4(const CsfTensor& t, const DenseTensor& b,
+                    const DenseTensor& c, const DenseTensor& d,
+                    DenseTensor* a);
+
+/// S(i,r,s) = sum_{j,k} T(i,j,k) * U(j,r) * V(k,s).
+void ttmc3_specialized(const CsfTensor& t, const DenseTensor& u,
+                       const DenseTensor& v, DenseTensor* s);
+
+/// S(i,j,k) = sum_r T(i,j,k) * U(i,r) * V(j,r) * W(k,r); values written in
+/// CSF leaf order. out must have t.nnz() elements.
+void tttp3_specialized(const CsfTensor& t, const DenseTensor& u,
+                       const DenseTensor& v, const DenseTensor& w,
+                       std::span<double> out);
+
+}  // namespace spttn

@@ -1,0 +1,96 @@
+// Public convenience API for SpTTN-Cyclops-style execution.
+//
+// Typical use:
+//   auto bound = spttn::bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", T, {&B, &C});
+//   spttn::Plan plan = spttn::plan_kernel(bound);
+//   spttn::run_plan(bound, plan, &A, {});
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "exec/executor.hpp"
+#include "tensor/coo_tensor.hpp"
+#include "tensor/csf_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// A kernel bound to concrete tensors: dimensions resolved, CSF built,
+/// sparsity statistics extracted.
+struct BoundKernel {
+  Kernel kernel;
+  const CooTensor* coo = nullptr;
+  CsfTensor csf;
+  SparsityStats stats;
+  /// One slot per kernel input; the sparse slot is null.
+  std::vector<const DenseTensor*> dense;
+};
+
+/// Parse `expr`, take `sparse` as the first input's tensor (or the input
+/// named `sparse_name`), bind the remaining inputs to `dense_factors` in
+/// order of appearance, infer all index dimensions, and build the CSF.
+BoundKernel bind(const std::string& expr, const CooTensor& sparse,
+                 std::vector<const DenseTensor*> dense_factors,
+                 const std::string& sparse_name = "");
+
+/// Plan with the paper's default metric (bounded buffer dim = 2 + most
+/// independent dense loops + fewest modeled cache misses).
+Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options = {});
+
+/// Execute a plan. Exactly one of out_dense/out_sparse applies, depending
+/// on the kernel's output sparsity.
+void run_plan(const BoundKernel& bound, const Plan& plan,
+              DenseTensor* out_dense, std::span<double> out_sparse);
+
+/// Allocate a correctly shaped dense output for the bound kernel.
+DenseTensor make_output(const BoundKernel& bound);
+
+// --- Extensions beyond the paper's evaluated system ---
+
+/// Result of searching over CSF storage permutations (the paper fixes the
+/// CSF order to the expression order; its conclusion lists richer search
+/// spaces as future work).
+struct CsfSearchResult {
+  std::vector<int> mode_order;  ///< chosen permutation of sparse modes
+  Cost cost;                    ///< planner cost under that order
+  std::string expr;             ///< rewritten kernel expression
+};
+
+/// Try every permutation of the sparse tensor's modes, re-plan, and return
+/// the permutation whose optimal loop nest has the lowest model cost. The
+/// caller can then rebuild the problem with permute_sparse_modes().
+CsfSearchResult search_csf_orders(const std::string& expr,
+                                  const CooTensor& sparse,
+                                  std::vector<const DenseTensor*> dense,
+                                  const PlannerOptions& options = {},
+                                  const std::string& sparse_name = "");
+
+/// Physically permute a COO tensor's modes (helper for applying a
+/// CsfSearchResult).
+CooTensor permute_sparse_modes(const CooTensor& coo,
+                               const std::vector<int>& mode_order);
+
+/// Rewrite a kernel expression with the sparse operand's indices permuted.
+std::string rewrite_expr_with_csf_order(const std::string& expr,
+                                        const std::vector<int>& mode_order,
+                                        const std::string& sparse_name = "");
+
+/// Measurement-based autotuning (paper Section 4: "Enumeration enables
+/// autotuning"): time the DP-optimal and second-best loop nests of the
+/// cheapest executable paths plus `sampled` random orders, return the
+/// fastest.
+struct AutotuneResult {
+  Plan best;
+  double best_seconds = 0;
+  int candidates = 0;
+};
+AutotuneResult autotune_kernel(const BoundKernel& bound,
+                               const PlannerOptions& options = {},
+                               int max_paths = 3, int sampled = 4,
+                               int reps = 2, std::uint64_t seed = 1);
+
+}  // namespace spttn

@@ -1,0 +1,176 @@
+#include "exec/unfactorized.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Strided access of one tensor with respect to the global index ids.
+struct Access {
+  int input = -1;  ///< input position; -1 = the dense output
+  std::vector<std::pair<int, std::int64_t>> strides;  ///< (index id, stride)
+  /// Depth (loop level) at which all indices of this tensor are bound.
+  int ready_level = 0;
+};
+
+}  // namespace
+
+struct UnfactorizedExecutor::Impl {
+  Kernel kernel;
+  std::vector<int> loop_ids;       ///< loop order (index ids)
+  std::vector<int> id_level;       ///< index id -> loop level
+  int num_sparse = 0;
+  std::vector<Access> inputs;      ///< dense inputs, sorted by ready_level
+  Access output;                   ///< dense output (unused when sparse out)
+  bool sparse_out = false;
+
+  // Runtime state.
+  std::vector<std::int64_t> idx_val;
+  const CsfTensor* csf = nullptr;
+  std::vector<const double*> dense_data;
+  double* out_data = nullptr;
+  double* out_sparse_data = nullptr;
+  std::vector<std::int64_t> csf_node;
+
+  std::int64_t offset(const Access& a) const {
+    std::int64_t off = 0;
+    for (const auto& [id, stride] : a.strides) {
+      off += idx_val[static_cast<std::size_t>(id)] * stride;
+    }
+    return off;
+  }
+
+  void run(std::size_t level, double partial) {
+    // Fold in inputs that became fully bound at this level.
+    for (const Access& a : inputs) {
+      if (static_cast<std::size_t>(a.ready_level) == level) {
+        partial *= dense_data[static_cast<std::size_t>(a.input)][offset(a)];
+      }
+    }
+    if (level == loop_ids.size()) {
+      if (sparse_out) {
+        out_sparse_data[csf_node.back()] += partial;
+      } else {
+        out_data[offset(output)] += partial;
+      }
+      return;
+    }
+    const int id = loop_ids[level];
+    if (static_cast<int>(level) < num_sparse) {
+      const int lvl = static_cast<int>(level);
+      std::int64_t begin = 0;
+      std::int64_t end = 0;
+      if (lvl == 0) {
+        end = csf->num_nodes(0);
+      } else {
+        const auto ptr = csf->level_ptr(lvl - 1);
+        begin = ptr[static_cast<std::size_t>(csf_node[static_cast<std::size_t>(
+            lvl - 1)])];
+        end = ptr[static_cast<std::size_t>(
+            csf_node[static_cast<std::size_t>(lvl - 1)] + 1)];
+      }
+      const auto idx = csf->level_idx(lvl);
+      for (std::int64_t n = begin; n < end; ++n) {
+        idx_val[static_cast<std::size_t>(id)] =
+            idx[static_cast<std::size_t>(n)];
+        csf_node[static_cast<std::size_t>(lvl)] = n;
+        // The sparse value itself becomes available at the last level.
+        const double p = (lvl + 1 == num_sparse)
+                             ? partial * csf->vals()[static_cast<std::size_t>(n)]
+                             : partial;
+        run(level + 1, p);
+      }
+      return;
+    }
+    auto& v = idx_val[static_cast<std::size_t>(id)];
+    for (std::int64_t i = 0; i < kernel.index_dim(id); ++i) {
+      v = i;
+      run(level + 1, partial);
+    }
+  }
+};
+
+UnfactorizedExecutor::UnfactorizedExecutor(const Kernel& kernel)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& im = *impl_;
+  im.kernel = kernel;
+  SPTTN_CHECK(kernel.dims_bound());
+  // Loop order: sparse modes (CSF order) then dense ids ascending.
+  for (int id : kernel.sparse_ref().idx) im.loop_ids.push_back(id);
+  im.num_sparse = static_cast<int>(im.loop_ids.size());
+  for (int id = 0; id < kernel.num_indices(); ++id) {
+    if (kernel.csf_level(id) < 0) im.loop_ids.push_back(id);
+  }
+  im.id_level.assign(static_cast<std::size_t>(kernel.num_indices()), -1);
+  for (std::size_t l = 0; l < im.loop_ids.size(); ++l) {
+    im.id_level[static_cast<std::size_t>(im.loop_ids[l])] =
+        static_cast<int>(l);
+  }
+
+  const auto make_access = [&](const TensorRef& ref, int input) {
+    Access a;
+    a.input = input;
+    std::int64_t stride = 1;
+    std::vector<std::int64_t> strides(ref.idx.size());
+    for (std::size_t m = ref.idx.size(); m-- > 0;) {
+      strides[m] = stride;
+      stride *= kernel.index_dim(ref.idx[m]);
+    }
+    int ready = 0;
+    for (std::size_t m = 0; m < ref.idx.size(); ++m) {
+      a.strides.emplace_back(ref.idx[m], strides[m]);
+      ready = std::max(ready,
+                       im.id_level[static_cast<std::size_t>(ref.idx[m])] + 1);
+    }
+    a.ready_level = ready;
+    return a;
+  };
+
+  for (int i = 0; i < kernel.num_inputs(); ++i) {
+    if (i == kernel.sparse_input()) continue;
+    im.inputs.push_back(make_access(kernel.input(i), i));
+  }
+  im.sparse_out = kernel.output_is_sparse();
+  if (!im.sparse_out) im.output = make_access(kernel.output(), -1);
+
+  im.idx_val.assign(static_cast<std::size_t>(kernel.num_indices()), 0);
+  im.csf_node.assign(static_cast<std::size_t>(im.num_sparse), 0);
+}
+
+UnfactorizedExecutor::~UnfactorizedExecutor() = default;
+UnfactorizedExecutor::UnfactorizedExecutor(UnfactorizedExecutor&&) noexcept =
+    default;
+UnfactorizedExecutor& UnfactorizedExecutor::operator=(
+    UnfactorizedExecutor&&) noexcept = default;
+
+void UnfactorizedExecutor::execute(const CsfTensor& sparse,
+                                   std::span<const DenseTensor* const> dense,
+                                   DenseTensor* out_dense,
+                                   std::span<double> out_sparse) {
+  Impl& im = *impl_;
+  SPTTN_CHECK(static_cast<int>(dense.size()) == im.kernel.num_inputs());
+  im.dense_data.assign(dense.size(), nullptr);
+  for (int i = 0; i < im.kernel.num_inputs(); ++i) {
+    if (i == im.kernel.sparse_input()) continue;
+    SPTTN_CHECK(dense[static_cast<std::size_t>(i)] != nullptr);
+    im.dense_data[static_cast<std::size_t>(i)] =
+        dense[static_cast<std::size_t>(i)]->data();
+  }
+  if (im.sparse_out) {
+    SPTTN_CHECK(static_cast<std::int64_t>(out_sparse.size()) == sparse.nnz());
+    im.out_sparse_data = out_sparse.data();
+    for (double& v : out_sparse) v = 0;
+  } else {
+    SPTTN_CHECK(out_dense != nullptr);
+    out_dense->zero();
+    im.out_data = out_dense->data();
+  }
+  im.csf = &sparse;
+  im.run(0, 1.0);
+  im.csf = nullptr;
+}
+
+}  // namespace spttn

@@ -1,0 +1,38 @@
+// TACO-style unfactorized baseline (paper Section 2.4.1).
+//
+// One loop nest over all kernel indices: CSF traversal of the sparse modes,
+// then every dense index, multiplying all inputs in the innermost loop (with
+// the loop-invariant partial products hoisted, as a compiler would). This is
+// the default schedule of TACO/COMET the paper compares against.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "tensor/csf_tensor.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/einsum.hpp"
+
+namespace spttn {
+
+/// Unfactorized all-at-once executor.
+class UnfactorizedExecutor {
+ public:
+  /// Loop order: sparse modes in CSF order, then dense indices in order of
+  /// first appearance (the order TACO derives from the expression).
+  explicit UnfactorizedExecutor(const Kernel& kernel);
+  ~UnfactorizedExecutor();
+  UnfactorizedExecutor(UnfactorizedExecutor&&) noexcept;
+  UnfactorizedExecutor& operator=(UnfactorizedExecutor&&) noexcept;
+
+  /// Execute; outputs are zeroed first. `dense` has one slot per input.
+  void execute(const CsfTensor& sparse,
+               std::span<const DenseTensor* const> dense,
+               DenseTensor* out_dense, std::span<double> out_sparse);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,72 @@
+// Compressed Sparse Fiber (CSF) tree — the execution format for the sparse
+// operand of an SpTTN kernel (paper Section 2.2).
+//
+// Level l of the tree compresses mode mode_order()[l] of the source tensor.
+// num_nodes(l) equals the paper's nnz(I1...I(l+1)) count for the permuted
+// mode order, which the cost models consume directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace spttn {
+
+/// CSF tree over a sorted, deduplicated COO tensor.
+class CsfTensor {
+ public:
+  CsfTensor() = default;
+
+  /// Build from COO. `mode_order[l]` gives the source mode compressed at
+  /// level l; empty means identity order. The COO must be sort_dedup()ed.
+  explicit CsfTensor(const CooTensor& coo, std::vector<int> mode_order = {});
+
+  int order() const { return static_cast<int>(level_dims_.size()); }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(vals_.size()); }
+
+  /// Mode sizes per level (already permuted by mode_order).
+  const std::vector<std::int64_t>& level_dims() const { return level_dims_; }
+  /// Source-tensor mode compressed at each level.
+  const std::vector<int>& mode_order() const { return mode_order_; }
+
+  /// Number of nodes at a level == nnz over the first (level+1) permuted
+  /// modes. The last level has nnz() nodes.
+  std::int64_t num_nodes(int level) const {
+    return static_cast<std::int64_t>(
+        idx_[static_cast<std::size_t>(level)].size());
+  }
+
+  /// Index values of nodes at a level.
+  std::span<const std::int64_t> level_idx(int level) const {
+    return idx_[static_cast<std::size_t>(level)];
+  }
+
+  /// Child ranges: node n at `level` owns children
+  /// [level_ptr(level)[n], level_ptr(level)[n+1]) at level+1.
+  /// Defined for level in [0, order-2].
+  std::span<const std::int64_t> level_ptr(int level) const {
+    return ptr_[static_cast<std::size_t>(level)];
+  }
+
+  /// Nonzero values aligned with the last level's nodes.
+  std::span<const double> vals() const { return vals_; }
+  std::span<double> vals() { return vals_; }
+
+  /// Reconstruct a COO tensor in the original (unpermuted) mode order.
+  /// Test helper; round-trips with the constructor.
+  CooTensor to_coo() const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<std::int64_t> level_dims_;
+  std::vector<int> mode_order_;
+  std::vector<std::vector<std::int64_t>> idx_;
+  std::vector<std::vector<std::int64_t>> ptr_;
+  std::vector<double> vals_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,82 @@
+// Row-major dense tensor of doubles.
+//
+// The dense operands of an SpTTN kernel (factor matrices, intermediates,
+// dense outputs) are stored in this format. Strides are exposed so the
+// executor can do incremental pointer arithmetic in inner loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+class Rng;
+
+/// N-dimensional row-major dense array of double.
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+
+  /// Construct zero-initialized tensor with the given mode sizes.
+  explicit DenseTensor(std::vector<std::int64_t> dims);
+
+  int order() const { return static_cast<int>(dims_.size()); }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t dim(int mode) const { return dims_[static_cast<std::size_t>(mode)]; }
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+  std::int64_t stride(int mode) const {
+    return strides_[static_cast<std::size_t>(mode)];
+  }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> values() { return data_; }
+  std::span<const double> values() const { return data_; }
+
+  /// Flat offset of a multi-index (bounds-checked).
+  std::int64_t offset(std::span<const std::int64_t> idx) const;
+
+  /// Element access by multi-index (bounds-checked).
+  double& at(std::span<const std::int64_t> idx) {
+    return data_[static_cast<std::size_t>(offset(idx))];
+  }
+  double at(std::span<const std::int64_t> idx) const {
+    return data_[static_cast<std::size_t>(offset(idx))];
+  }
+  double& at(std::initializer_list<std::int64_t> idx) {
+    return at(std::span<const std::int64_t>(idx.begin(), idx.size()));
+  }
+  double at(std::initializer_list<std::int64_t> idx) const {
+    return at(std::span<const std::int64_t>(idx.begin(), idx.size()));
+  }
+
+  /// Set every element to v.
+  void fill(double v);
+  /// Set every element to 0.
+  void zero() { fill(0.0); }
+
+  /// Fill with i.i.d. uniform values in [-1, 1).
+  void fill_random(Rng& rng);
+
+  /// Elementwise maximum absolute difference against another tensor of the
+  /// same shape.
+  double max_abs_diff(const DenseTensor& other) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  /// Short debug description, e.g. "dense[64x32]".
+  std::string describe() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;
+  std::vector<double> data_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,179 @@
+#include "tensor/einsum.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace spttn {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Parse "Name(i,j,k)" starting at pos; advances pos past the closing paren.
+TensorRef parse_ref(const std::string& s, std::size_t& pos,
+                    std::map<std::string, int>& index_ids,
+                    std::vector<std::string>& index_names) {
+  TensorRef ref;
+  const std::size_t name_start = pos;
+  while (pos < s.size() && is_ident_char(s[pos])) ++pos;
+  SPTTN_CHECK_MSG(pos > name_start, "expected tensor name at '"
+                                        << s.substr(name_start) << "'");
+  ref.name = s.substr(name_start, pos - name_start);
+  SPTTN_CHECK_MSG(pos < s.size() && s[pos] == '(',
+                  "expected '(' after tensor name " << ref.name);
+  ++pos;
+  while (true) {
+    const std::size_t idx_start = pos;
+    while (pos < s.size() && is_ident_char(s[pos])) ++pos;
+    SPTTN_CHECK_MSG(pos > idx_start,
+                    "expected index name in " << ref.name << "(...)");
+    const std::string idx_name = s.substr(idx_start, pos - idx_start);
+    auto [it, inserted] =
+        index_ids.emplace(idx_name, static_cast<int>(index_names.size()));
+    if (inserted) index_names.push_back(idx_name);
+    const int id = it->second;
+    SPTTN_CHECK_MSG(!ref.iset.contains(id),
+                    "repeated index '" << idx_name << "' within tensor "
+                                       << ref.name
+                                       << " (diagonals unsupported)");
+    ref.idx.push_back(id);
+    ref.iset.insert(id);
+    SPTTN_CHECK_MSG(pos < s.size(), "unterminated index list in " << ref.name);
+    if (s[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (s[pos] == ')') {
+      ++pos;
+      return ref;
+    }
+    SPTTN_CHECK_MSG(false, "unexpected character '" << s[pos] << "' in "
+                                                    << ref.name << "(...)");
+  }
+}
+
+}  // namespace
+
+Kernel Kernel::parse(const std::string& expr, const std::string& sparse_name) {
+  const std::string s = strip_whitespace(expr);
+  Kernel k;
+  std::map<std::string, int> index_ids;
+
+  std::size_t pos = 0;
+  k.output_ = parse_ref(s, pos, index_ids, k.index_names_);
+  SPTTN_CHECK_MSG(pos < s.size() && s[pos] == '=',
+                  "expected '=' after output tensor");
+  ++pos;
+  while (true) {
+    k.inputs_.push_back(parse_ref(s, pos, index_ids, k.index_names_));
+    if (pos < s.size() && s[pos] == '*') {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  SPTTN_CHECK_MSG(pos == s.size(),
+                  "trailing characters after kernel expression: '"
+                      << s.substr(pos) << "'");
+  SPTTN_CHECK_MSG(!k.inputs_.empty(), "kernel needs at least one input");
+  SPTTN_CHECK_MSG(k.index_names_.size() <= IndexSet::kMaxIndex,
+                  "too many distinct indices");
+
+  // Identify the sparse operand.
+  k.sparse_input_ = 0;
+  if (!sparse_name.empty()) {
+    k.sparse_input_ = -1;
+    for (std::size_t i = 0; i < k.inputs_.size(); ++i) {
+      if (k.inputs_[i].name == sparse_name)
+        k.sparse_input_ = static_cast<int>(i);
+    }
+    SPTTN_CHECK_MSG(k.sparse_input_ >= 0,
+                    "sparse tensor '" << sparse_name << "' not among inputs");
+  }
+
+  for (const auto& ref : k.inputs_) k.all_ |= ref.iset;
+  SPTTN_CHECK_MSG(k.output_.iset.subset_of(k.all_),
+                  "output uses an index not present in any input");
+
+  k.index_dims_.assign(k.index_names_.size(), -1);
+  return k;
+}
+
+int Kernel::index_id(const std::string& name) const {
+  for (std::size_t i = 0; i < index_names_.size(); ++i) {
+    if (index_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::int64_t Kernel::index_dim(int id) const {
+  SPTTN_CHECK(id >= 0 && id < num_indices());
+  const std::int64_t d = index_dims_[static_cast<std::size_t>(id)];
+  SPTTN_CHECK_MSG(d > 0, "dimension of index '" << index_name(id)
+                                                << "' is unbound");
+  return d;
+}
+
+void Kernel::set_index_dim(int id, std::int64_t dim) {
+  SPTTN_CHECK(id >= 0 && id < num_indices());
+  SPTTN_CHECK_MSG(dim > 0, "dimension must be positive");
+  std::int64_t& slot = index_dims_[static_cast<std::size_t>(id)];
+  SPTTN_CHECK_MSG(slot < 0 || slot == dim,
+                  "conflicting dimensions for index '"
+                      << index_name(id) << "': " << slot << " vs " << dim);
+  slot = dim;
+}
+
+bool Kernel::dims_bound() const {
+  return std::all_of(index_dims_.begin(), index_dims_.end(),
+                     [](std::int64_t d) { return d > 0; });
+}
+
+bool Kernel::output_is_sparse() const {
+  return output_.idx == sparse_ref().idx;
+}
+
+int Kernel::csf_level(int id) const {
+  const auto& sidx = sparse_ref().idx;
+  for (std::size_t l = 0; l < sidx.size(); ++l) {
+    if (sidx[l] == id) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+std::string Kernel::to_string() const {
+  const auto render = [&](const TensorRef& ref) {
+    std::string s = ref.name + "(";
+    for (std::size_t i = 0; i < ref.idx.size(); ++i) {
+      if (i) s += ",";
+      s += index_name(ref.idx[i]);
+    }
+    return s + ")";
+  };
+  std::string s = render(output_) + " = ";
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (i) s += " * ";
+    s += render(inputs_[i]);
+  }
+  return s;
+}
+
+std::string Kernel::dims_to_string() const {
+  std::string s;
+  for (int id = 0; id < num_indices(); ++id) {
+    if (id) s += " ";
+    s += index_name(id) + "=";
+    s += index_dims_[static_cast<std::size_t>(id)] > 0
+             ? std::to_string(index_dims_[static_cast<std::size_t>(id)])
+             : std::string("?");
+  }
+  return s;
+}
+
+}  // namespace spttn

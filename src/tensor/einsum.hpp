@@ -1,0 +1,93 @@
+// Einsum-style kernel specification for SpTTN contractions (paper Section 3).
+//
+// A kernel is written as, e.g.
+//     "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)"        (MTTKRP)
+//     "S(i,j,k) = T(i,j,k) * U(i,r) * V(j,r) * W(k,r)"  (TTTP)
+// By convention the FIRST input is the sparse tensor; the order of its
+// indices is the CSF storage order. Indices absent from the output are
+// contracted (summed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/index_set.hpp"
+
+namespace spttn {
+
+/// One tensor occurrence in a kernel: name plus ordered index ids.
+struct TensorRef {
+  std::string name;
+  std::vector<int> idx;  ///< index ids in storage order
+  IndexSet iset;         ///< set form of idx
+
+  int order() const { return static_cast<int>(idx.size()); }
+};
+
+/// Parsed SpTTN kernel: one sparse input, N dense inputs, one output that is
+/// either dense or shares the sparse input's pattern.
+class Kernel {
+ public:
+  /// Parse an expression "Out(..) = T(..) * A(..) * ...". The input named
+  /// `sparse_name` is the sparse operand; empty means the first input.
+  static Kernel parse(const std::string& expr,
+                      const std::string& sparse_name = "");
+
+  const std::vector<TensorRef>& inputs() const { return inputs_; }
+  const TensorRef& input(int i) const {
+    return inputs_[static_cast<std::size_t>(i)];
+  }
+  int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  const TensorRef& output() const { return output_; }
+
+  /// Position of the sparse operand within inputs().
+  int sparse_input() const { return sparse_input_; }
+  const TensorRef& sparse_ref() const {
+    return inputs_[static_cast<std::size_t>(sparse_input_)];
+  }
+
+  int num_indices() const { return static_cast<int>(index_names_.size()); }
+  const std::string& index_name(int id) const {
+    return index_names_[static_cast<std::size_t>(id)];
+  }
+  /// Id for a name, or -1 when the kernel does not use it.
+  int index_id(const std::string& name) const;
+
+  /// Dimension of index id; must have been set via set_index_dim.
+  std::int64_t index_dim(int id) const;
+  void set_index_dim(int id, std::int64_t dim);
+  bool dims_bound() const;
+
+  IndexSet all_indices() const { return all_; }
+  IndexSet output_indices() const { return output_.iset; }
+  IndexSet sparse_modes() const { return sparse_ref().iset; }
+  /// Indices appearing only on dense tensors (and possibly the output).
+  IndexSet dense_only_indices() const { return all_ - sparse_modes(); }
+  /// Indices summed away (not in the output).
+  IndexSet contracted_indices() const { return all_ - output_.iset; }
+
+  /// True when the output has exactly the sparse operand's indices in the
+  /// same order — the TTTP case, stored as values on T's pattern.
+  bool output_is_sparse() const;
+
+  /// CSF level of a sparse-mode index id (position in the sparse ref),
+  /// or -1 for dense indices.
+  int csf_level(int id) const;
+
+  /// Render back to the canonical string form.
+  std::string to_string() const;
+
+  /// Human-readable dims summary like "i=1024 j=1024 k=1024 r=32".
+  std::string dims_to_string() const;
+
+ private:
+  std::vector<TensorRef> inputs_;
+  TensorRef output_;
+  int sparse_input_ = 0;
+  std::vector<std::string> index_names_;
+  std::vector<std::int64_t> index_dims_;  // -1 = unbound
+  IndexSet all_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,191 @@
+#include "tensor/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Pack a coordinate into a hash key (dims small enough in practice).
+std::uint64_t coord_key(std::span<const std::int64_t> c) {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (std::int64_t v : c) h = hash_mix(h ^ static_cast<std::uint64_t>(v));
+  return h;
+}
+
+/// Geometric-ish sample with mean `mean`, at least 1.
+std::int64_t sample_fanout(double mean, Rng& rng) {
+  if (mean <= 1.0) return 1;
+  // Shifted geometric: 1 + Geom(p) with p = 1/mean keeps the mean at ~mean.
+  const double p = 1.0 / mean;
+  double u = rng.next_double();
+  while (u <= 0.0) u = rng.next_double();
+  const std::int64_t extra =
+      static_cast<std::int64_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+  return 1 + std::max<std::int64_t>(0, extra);
+}
+
+}  // namespace
+
+CooTensor random_coo(std::vector<std::int64_t> dims, std::int64_t nnz_target,
+                     Rng& rng) {
+  CooTensor t(dims);
+  const int d = t.order();
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(nnz_target) * 2);
+  std::vector<std::int64_t> c(static_cast<std::size_t>(d));
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = nnz_target * 16 + 1024;
+  while (t.nnz() < nnz_target && attempts < max_attempts) {
+    ++attempts;
+    for (int m = 0; m < d; ++m) {
+      c[static_cast<std::size_t>(m)] =
+          static_cast<std::int64_t>(rng.next_below(
+              static_cast<std::uint64_t>(t.dim(m))));
+    }
+    if (!seen.insert(coord_key(c)).second) continue;
+    t.push_back(c, 2.0 * rng.next_double() - 1.0);
+  }
+  t.sort_dedup();
+  return t;
+}
+
+CooTensor hierarchical_coo(std::vector<std::int64_t> dims,
+                           std::int64_t root_count,
+                           const std::vector<double>& fanout, Rng& rng) {
+  const int d = static_cast<int>(dims.size());
+  SPTTN_CHECK_MSG(static_cast<int>(fanout.size()) == d - 1,
+                  "need one fanout per level below the root");
+  CooTensor t(dims);
+  root_count = std::min<std::int64_t>(root_count, dims[0]);
+
+  // Sample distinct root indices.
+  std::unordered_set<std::int64_t> roots;
+  roots.reserve(static_cast<std::size_t>(root_count) * 2);
+  while (static_cast<std::int64_t>(roots.size()) < root_count) {
+    roots.insert(static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(dims[0]))));
+  }
+
+  // Expand each root level by level, sampling distinct children.
+  std::vector<std::int64_t> c(static_cast<std::size_t>(d));
+  std::vector<std::int64_t> child_buf;
+  const auto expand = [&](auto&& self, int level) -> void {
+    if (level == d) {
+      t.push_back(c, 2.0 * rng.next_double() - 1.0);
+      return;
+    }
+    const double mean = fanout[static_cast<std::size_t>(level - 1)];
+    std::int64_t n_children = sample_fanout(mean, rng);
+    n_children =
+        std::min<std::int64_t>(n_children, dims[static_cast<std::size_t>(level)]);
+    child_buf.clear();
+    std::unordered_set<std::int64_t> chosen;
+    while (static_cast<std::int64_t>(chosen.size()) < n_children) {
+      chosen.insert(static_cast<std::int64_t>(rng.next_below(
+          static_cast<std::uint64_t>(dims[static_cast<std::size_t>(level)]))));
+    }
+    for (std::int64_t v : chosen) {
+      c[static_cast<std::size_t>(level)] = v;
+      self(self, level + 1);
+    }
+  };
+  for (std::int64_t r : roots) {
+    c[0] = r;
+    expand(expand, 1);
+  }
+  t.sort_dedup();
+  return t;
+}
+
+CooTensor lowrank_coo(std::vector<std::int64_t> dims, int rank,
+                      std::int64_t nnz_target, double noise, Rng& rng) {
+  const int d = static_cast<int>(dims.size());
+  std::vector<DenseTensor> factors;
+  factors.reserve(static_cast<std::size_t>(d));
+  for (int m = 0; m < d; ++m) {
+    factors.push_back(
+        random_dense({dims[static_cast<std::size_t>(m)], rank}, rng));
+  }
+  CooTensor t = random_coo(dims, nnz_target, rng);
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    const auto c = t.coord(e);
+    double v = 0;
+    for (int r = 0; r < rank; ++r) {
+      double p = 1;
+      for (int m = 0; m < d; ++m) {
+        p *= factors[static_cast<std::size_t>(m)].at(
+            {c[static_cast<std::size_t>(m)], r});
+      }
+      v += p;
+    }
+    t.value(e) = v + noise * rng.next_normal();
+  }
+  return t;
+}
+
+const std::vector<TensorPreset>& tensor_presets() {
+  // Shapes follow the published datasets (FROSTT [52] and DARPA [25]);
+  // fanouts chosen to give realistic multi-nonzero fibers at deep levels.
+  static const std::vector<TensorPreset> presets = {
+      {"nell-2", {12092, 9184, 28818}, 76879419, {210.0, 30.0}},
+      {"nips", {2482, 2862, 14036, 17}, 3101609, {160.0, 5.2, 1.5}},
+      {"enron", {6066, 5699, 244268, 1176}, 54202099, {100.0, 30.0, 3.0}},
+      {"vast-3d", {165427, 11374, 2}, 26021854, {85.0, 1.85}},
+      {"darpa", {22476, 22476, 2312256}, 28436033, {130.0, 9.7}},
+      {"synth3", {8192, 8192, 8192}, 549755, {9.0, 7.5}},
+      {"synth4", {1024, 1024, 1024, 1024}, 1073741, {60.0, 13.0, 1.4}},
+  };
+  return presets;
+}
+
+const TensorPreset& find_preset(const std::string& name) {
+  for (const auto& p : tensor_presets()) {
+    if (p.name == name) return p;
+  }
+  SPTTN_CHECK_MSG(false, "unknown tensor preset '" << name << "'");
+  // Unreachable; silences the compiler.
+  return tensor_presets().front();
+}
+
+CooTensor make_preset_tensor(const std::string& name, double scale, Rng& rng) {
+  const TensorPreset& p = find_preset(name);
+  SPTTN_CHECK_MSG(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  // nnz scales linearly; mode sizes scale by sqrt(scale) so the CSF fan-out
+  // profile (the statistic the schedules' relative costs depend on) is
+  // preserved while mode extents stay large enough to host the fibers.
+  const double dim_scale = std::sqrt(scale);
+  std::vector<std::int64_t> dims(p.dims.size());
+  for (std::size_t m = 0; m < p.dims.size(); ++m) {
+    dims[m] = std::max<std::int64_t>(
+        4, static_cast<std::int64_t>(
+               std::llround(static_cast<double>(p.dims[m]) * dim_scale)));
+  }
+  // Fanouts are capped by the scaled mode sizes; root count carries the
+  // remaining nnz budget so realized nnz ≈ published nnz * scale.
+  std::vector<double> fanout(p.fanout.size());
+  double per_root = 1.0;
+  for (std::size_t l = 0; l < p.fanout.size(); ++l) {
+    fanout[l] = std::min(p.fanout[l], static_cast<double>(dims[l + 1]) * 0.8);
+    per_root *= fanout[l];
+  }
+  const double target_nnz = static_cast<double>(p.nnz) * scale;
+  const std::int64_t roots = std::max<std::int64_t>(
+      1, std::min<std::int64_t>(
+             dims[0],
+             static_cast<std::int64_t>(std::llround(target_nnz / per_root))));
+  return hierarchical_coo(dims, roots, fanout, rng);
+}
+
+DenseTensor random_dense(std::vector<std::int64_t> dims, Rng& rng) {
+  DenseTensor t(std::move(dims));
+  t.fill_random(rng);
+  return t;
+}
+
+}  // namespace spttn

@@ -1,0 +1,86 @@
+#include "tensor/tns_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace spttn {
+
+CooTensor read_tns(std::istream& in, const std::vector<std::int64_t>& dims) {
+  std::string line;
+  int order = -1;
+  std::vector<std::vector<std::int64_t>> coords;
+  std::vector<double> values;
+  std::vector<std::int64_t> maxima;
+  std::int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream ls{std::string(trimmed)};
+    std::vector<double> fields;
+    double v;
+    while (ls >> v) fields.push_back(v);
+    SPTTN_CHECK_MSG(fields.size() >= 2,
+                    "tns line " << line_no << ": need indices and a value");
+    if (order < 0) {
+      order = static_cast<int>(fields.size()) - 1;
+      SPTTN_CHECK_MSG(dims.empty() ||
+                          static_cast<int>(dims.size()) == order,
+                      "tns order " << order << " != provided dims "
+                                   << dims.size());
+      maxima.assign(static_cast<std::size_t>(order), 0);
+    }
+    SPTTN_CHECK_MSG(static_cast<int>(fields.size()) == order + 1,
+                    "tns line " << line_no << ": inconsistent arity");
+    std::vector<std::int64_t> c(static_cast<std::size_t>(order));
+    for (int m = 0; m < order; ++m) {
+      const double f = fields[static_cast<std::size_t>(m)];
+      const auto idx = static_cast<std::int64_t>(f);
+      SPTTN_CHECK_MSG(static_cast<double>(idx) == f && idx >= 1,
+                      "tns line " << line_no << ": bad index " << f);
+      c[static_cast<std::size_t>(m)] = idx - 1;  // to 0-based
+      maxima[static_cast<std::size_t>(m)] =
+          std::max(maxima[static_cast<std::size_t>(m)], idx);
+    }
+    coords.push_back(std::move(c));
+    values.push_back(fields.back());
+  }
+  SPTTN_CHECK_MSG(order > 0, "tns stream contains no entries");
+
+  std::vector<std::int64_t> shape = dims.empty() ? maxima : dims;
+  CooTensor t(shape);
+  for (std::size_t e = 0; e < coords.size(); ++e) {
+    t.push_back(coords[e], values[e]);
+  }
+  t.sort_dedup();
+  return t;
+}
+
+CooTensor read_tns_file(const std::string& path,
+                        const std::vector<std::int64_t>& dims) {
+  std::ifstream in(path);
+  SPTTN_CHECK_MSG(in.good(), "cannot open tns file '" << path << "'");
+  return read_tns(in, dims);
+}
+
+void write_tns(std::ostream& out, const CooTensor& tensor) {
+  for (std::int64_t e = 0; e < tensor.nnz(); ++e) {
+    const auto c = tensor.coord(e);
+    for (int m = 0; m < tensor.order(); ++m) {
+      out << c[static_cast<std::size_t>(m)] + 1 << ' ';
+    }
+    out << strfmt("%.17g", tensor.value(e)) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const CooTensor& tensor) {
+  std::ofstream out(path);
+  SPTTN_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_tns(out, tensor);
+}
+
+}  // namespace spttn

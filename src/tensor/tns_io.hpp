@@ -1,0 +1,30 @@
+// FROSTT .tns text format I/O.
+//
+// The paper's datasets (nell-2, nips, enron, vast, darpa) are distributed
+// as whitespace-separated "i1 i2 ... id value" lines with 1-based indices;
+// comment lines start with '#'. This reader/writer lets users run the
+// library on the real tensors when they have them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo_tensor.hpp"
+
+namespace spttn {
+
+/// Parse a .tns stream. Dimensions are inferred as the per-mode maxima
+/// unless `dims` is provided (then coordinates are validated against it).
+/// The result is sort_dedup()ed. Throws spttn::Error on malformed input.
+CooTensor read_tns(std::istream& in,
+                   const std::vector<std::int64_t>& dims = {});
+
+/// Convenience file wrapper around read_tns.
+CooTensor read_tns_file(const std::string& path,
+                        const std::vector<std::int64_t>& dims = {});
+
+/// Write a tensor in .tns format (1-based indices, %.17g values).
+void write_tns(std::ostream& out, const CooTensor& tensor);
+void write_tns_file(const std::string& path, const CooTensor& tensor);
+
+}  // namespace spttn

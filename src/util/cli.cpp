@@ -1,0 +1,132 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+Cli::Flag& Cli::add(const std::string& name, Flag flag) {
+  SPTTN_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  order_.push_back(name);
+  return flags_.emplace(name, std::move(flag)).first->second;
+}
+
+const std::int64_t* Cli::add_int(const std::string& name, std::int64_t init,
+                                 const std::string& help) {
+  Flag f;
+  f.kind = Flag::Kind::kInt;
+  f.help = help;
+  f.i = init;
+  return &add(name, std::move(f)).i;
+}
+
+const double* Cli::add_double(const std::string& name, double init,
+                              const std::string& help) {
+  Flag f;
+  f.kind = Flag::Kind::kDouble;
+  f.help = help;
+  f.d = init;
+  return &add(name, std::move(f)).d;
+}
+
+const bool* Cli::add_bool(const std::string& name, bool init,
+                          const std::string& help) {
+  Flag f;
+  f.kind = Flag::Kind::kBool;
+  f.help = help;
+  f.b = init;
+  return &add(name, std::move(f)).b;
+}
+
+const std::string* Cli::add_string(const std::string& name, std::string init,
+                                   const std::string& help) {
+  Flag f;
+  f.kind = Flag::Kind::kString;
+  f.help = help;
+  f.s = std::move(init);
+  return &add(name, std::move(f)).s;
+}
+
+void Cli::set_from_string(Flag& f, const std::string& name,
+                          const std::string& value) {
+  switch (f.kind) {
+    case Flag::Kind::kInt:
+      f.i = std::strtoll(value.c_str(), nullptr, 10);
+      break;
+    case Flag::Kind::kDouble:
+      f.d = std::strtod(value.c_str(), nullptr);
+      break;
+    case Flag::Kind::kBool:
+      f.b = !(value == "false" || value == "0" || value == "no");
+      break;
+    case Flag::Kind::kString:
+      f.s = value;
+      break;
+  }
+  (void)name;
+}
+
+void Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    SPTTN_CHECK_MSG(arg.rfind("--", 0) == 0,
+                    "unexpected positional argument '" << arg << "'\n"
+                                                       << usage());
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    SPTTN_CHECK_MSG(it != flags_.end(),
+                    "unknown flag --" << arg << "\n" << usage());
+    Flag& f = it->second;
+    if (!has_value) {
+      if (f.kind == Flag::Kind::kBool) {
+        f.b = true;
+        continue;
+      }
+      SPTTN_CHECK_MSG(i + 1 < argc, "flag --" << arg << " requires a value");
+      value = argv[++i];
+    }
+    set_from_string(f, arg, value);
+  }
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    switch (f.kind) {
+      case Flag::Kind::kInt:
+        os << "=<int> (default " << f.i << ")";
+        break;
+      case Flag::Kind::kDouble:
+        os << "=<float> (default " << f.d << ")";
+        break;
+      case Flag::Kind::kBool:
+        os << " (default " << (f.b ? "true" : "false") << ")";
+        break;
+      case Flag::Kind::kString:
+        os << "=<str> (default '" << f.s << "')";
+        break;
+    }
+    os << "  " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spttn

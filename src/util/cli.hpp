@@ -1,0 +1,61 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Flags are of the form --name=value or --name value; bools accept bare
+// --name. Unknown flags raise an error listing known flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace spttn {
+
+/// Registry-style flag parser.
+///
+///   Cli cli("bench_fig7");
+///   auto& r = cli.add_int("rank", 64, "factor rank R");
+///   cli.parse(argc, argv);
+///   use(*r);
+class Cli {
+ public:
+  explicit Cli(std::string program) : program_(std::move(program)) {}
+
+  /// Register an int64 flag; returns a stable pointer to the value.
+  const std::int64_t* add_int(const std::string& name, std::int64_t init,
+                              const std::string& help);
+  /// Register a double flag.
+  const double* add_double(const std::string& name, double init,
+                           const std::string& help);
+  /// Register a bool flag (bare --name sets true).
+  const bool* add_bool(const std::string& name, bool init,
+                       const std::string& help);
+  /// Register a string flag.
+  const std::string* add_string(const std::string& name, std::string init,
+                                const std::string& help);
+
+  /// Parse argv; exits with usage on --help, throws Error on unknown flags.
+  void parse(int argc, char** argv);
+
+  /// Render usage text.
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    enum class Kind { kInt, kDouble, kBool, kString } kind;
+    std::string help;
+    std::int64_t i = 0;
+    double d = 0;
+    bool b = false;
+    std::string s;
+  };
+  Flag& add(const std::string& name, Flag flag);
+  void set_from_string(Flag& f, const std::string& name,
+                       const std::string& value);
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace spttn

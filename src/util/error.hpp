@@ -1,0 +1,46 @@
+// Error handling primitives shared by all spttn libraries.
+//
+// Invariant violations raise spttn::Error (derived from std::runtime_error)
+// so that tests can assert on failure and applications can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace spttn {
+
+/// Exception type thrown for all precondition and invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace spttn
+
+/// Precondition check: throws spttn::Error with location info when violated.
+#define SPTTN_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::spttn::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Precondition check with a streamed message:
+///   SPTTN_CHECK_MSG(i < n, "index " << i << " out of range " << n);
+#define SPTTN_CHECK_MSG(cond, msg)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      std::ostringstream os_;                                       \
+      os_ << msg;                                                   \
+      ::spttn::detail::fail(#cond, __FILE__, __LINE__, os_.str());  \
+    }                                                               \
+  } while (0)

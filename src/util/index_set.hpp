@@ -1,0 +1,104 @@
+// Small set of loop indices, the workhorse of the loop-nest search.
+//
+// A kernel has at most 64 distinct indices (letters), identified by small
+// integer ids assigned by the einsum parser. IndexSet packs membership into
+// one machine word so the DP memoization key (Section 4.2) stays cheap to
+// hash and compare.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+/// Dense bitset over index ids 0..63 with value semantics.
+class IndexSet {
+ public:
+  constexpr IndexSet() = default;
+  constexpr explicit IndexSet(std::uint64_t bits) : bits_(bits) {}
+  IndexSet(std::initializer_list<int> ids) {
+    for (int id : ids) insert(id);
+  }
+
+  static constexpr int kMaxIndex = 64;
+
+  void insert(int id) {
+    SPTTN_CHECK(id >= 0 && id < kMaxIndex);
+    bits_ |= (std::uint64_t{1} << id);
+  }
+  void erase(int id) {
+    SPTTN_CHECK(id >= 0 && id < kMaxIndex);
+    bits_ &= ~(std::uint64_t{1} << id);
+  }
+  bool contains(int id) const {
+    if (id < 0 || id >= kMaxIndex) return false;
+    return (bits_ >> id) & 1u;
+  }
+  bool empty() const { return bits_ == 0; }
+  int size() const { return __builtin_popcountll(bits_); }
+
+  IndexSet operator|(IndexSet o) const { return IndexSet(bits_ | o.bits_); }
+  IndexSet operator&(IndexSet o) const { return IndexSet(bits_ & o.bits_); }
+  IndexSet operator-(IndexSet o) const { return IndexSet(bits_ & ~o.bits_); }
+  IndexSet& operator|=(IndexSet o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  IndexSet& operator&=(IndexSet o) {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  IndexSet& operator-=(IndexSet o) {
+    bits_ &= ~o.bits_;
+    return *this;
+  }
+  bool operator==(const IndexSet&) const = default;
+
+  /// True when every element of this set is contained in o.
+  bool subset_of(IndexSet o) const { return (bits_ & ~o.bits_) == 0; }
+  bool intersects(IndexSet o) const { return (bits_ & o.bits_) != 0; }
+
+  std::uint64_t bits() const { return bits_; }
+
+  /// Elements in increasing id order.
+  std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(size()));
+    std::uint64_t b = bits_;
+    while (b) {
+      const int id = __builtin_ctzll(b);
+      out.push_back(id);
+      b &= b - 1;
+    }
+    return out;
+  }
+
+  /// Iterate elements: for (int id : set.elements()) ...
+  class Iterator {
+   public:
+    explicit Iterator(std::uint64_t b) : bits_(b) {}
+    int operator*() const { return __builtin_ctzll(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    std::uint64_t bits_;
+  };
+  struct Range {
+    std::uint64_t bits;
+    Iterator begin() const { return Iterator(bits); }
+    Iterator end() const { return Iterator(0); }
+  };
+  Range elements() const { return Range{bits_}; }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace spttn

@@ -1,0 +1,27 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spttn {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace spttn

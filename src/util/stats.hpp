@@ -1,0 +1,32 @@
+// Simple summary statistics for timing samples.
+#pragma once
+
+#include <vector>
+
+namespace spttn {
+
+/// Summary of a sample of measurements.
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  std::size_t count = 0;
+};
+
+/// Compute summary statistics; empty input yields all-zero summary.
+Summary summarize(std::vector<double> samples);
+
+/// Repeatedly time fn() (seconds per call) until `reps` samples collected,
+/// returning the summary. fn is invoked exactly `reps + warmup` times.
+template <typename Fn>
+Summary time_fn(Fn&& fn, int reps, int warmup = 1) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < warmup; ++i) fn();
+  for (int i = 0; i < reps; ++i) samples.push_back(fn());
+  return summarize(std::move(samples));
+}
+
+}  // namespace spttn

@@ -1,0 +1,28 @@
+// Small string helpers used by the einsum parser and bench harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spttn {
+
+/// Split s on delimiter; empty pieces are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace on both ends.
+std::string_view trim(std::string_view s);
+
+/// Remove all ASCII whitespace characters.
+std::string strip_whitespace(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable engineering format: 1234567 -> "1.23M".
+std::string human_count(double v);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace spttn

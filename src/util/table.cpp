@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+void Table::set_header(std::vector<std::string> header) {
+  SPTTN_CHECK(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SPTTN_CHECK_MSG(row.size() == header_.size(),
+                  "row width " << row.size() << " != header width "
+                               << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto hline = [&] {
+    os << '+';
+    for (std::size_t w : width) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < width[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  hline();
+  print_row(header_);
+  hline();
+  for (const auto& row : rows_) print_row(row);
+  hline();
+  for (const auto& note : notes_) os << "  note: " << note << '\n';
+  os << '\n';
+}
+
+}  // namespace spttn

@@ -1,0 +1,37 @@
+// ASCII table writer for the benchmark harness.
+//
+// Every bench binary reproduces a paper table or figure by printing rows in
+// this format, so bench_output.txt is directly comparable to the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spttn {
+
+/// Column-aligned ASCII table with a title and optional footnotes.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a free-form footnote printed under the table.
+  void add_note(std::string note);
+
+  /// Render to a stream with box-drawing separators.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace spttn

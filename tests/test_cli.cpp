@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+namespace {
+
+/// argv builder (strings must outlive the char* views).
+struct Argv {
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+  explicit Argv(std::initializer_list<const char*> args) {
+    storage.emplace_back("prog");
+    for (const char* a : args) storage.emplace_back(a);
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+};
+
+TEST(Cli, ParsesAllValueForms) {
+  Cli cli("t");
+  const auto* i = cli.add_int("count", 1, "");
+  const auto* d = cli.add_double("ratio", 0.5, "");
+  const auto* b = cli.add_bool("fast", false, "");
+  const auto* s = cli.add_string("name", "x", "");
+  Argv a({"--count=7", "--ratio", "2.5", "--fast", "--name=hello"});
+  cli.parse(a.argc(), a.argv());
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 2.5);
+  EXPECT_TRUE(*b);
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  Cli cli("t");
+  const auto* i = cli.add_int("count", 42, "");
+  Argv a({});
+  cli.parse(a.argc(), a.argv());
+  EXPECT_EQ(*i, 42);
+}
+
+TEST(Cli, BoolAcceptsExplicitFalse) {
+  Cli cli("t");
+  const auto* b = cli.add_bool("fast", true, "");
+  Argv a({"--fast=false"});
+  cli.parse(a.argc(), a.argv());
+  EXPECT_FALSE(*b);
+}
+
+TEST(Cli, UnknownFlagThrowsWithUsage) {
+  Cli cli("t");
+  cli.add_int("count", 1, "the count");
+  Argv a({"--nope=3"});
+  try {
+    cli.parse(a.argc(), a.argv());
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos);
+  }
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  Cli cli("t");
+  Argv a({"stray"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), Error);
+}
+
+TEST(Cli, MissingValueRejected) {
+  Cli cli("t");
+  cli.add_int("count", 1, "");
+  Argv a({"--count"});
+  EXPECT_THROW(cli.parse(a.argc(), a.argv()), Error);
+}
+
+TEST(Cli, DuplicateRegistrationRejected) {
+  Cli cli("t");
+  cli.add_int("x", 1, "");
+  EXPECT_THROW(cli.add_bool("x", false, ""), Error);
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  Cli cli("prog");
+  cli.add_int("count", 3, "how many");
+  cli.add_string("mode", "fast", "which mode");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--count=<int> (default 3)"), std::string::npos);
+  EXPECT_NE(u.find("how many"), std::string::npos);
+  EXPECT_NE(u.find("'fast'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spttn

@@ -1,0 +1,90 @@
+// Cross-module consistency properties, swept over every kernel family and
+// sampled loop orders: the cost evaluator, the loop-tree builder and the
+// executor's compile stage must agree on buffer shapes and offload
+// structure for ANY valid order, not just the planner's picks.
+#include <gtest/gtest.h>
+
+#include "core/enumerate.hpp"
+#include "exec/executor.hpp"
+#include "test_helpers.hpp"
+
+namespace spttn {
+namespace {
+
+using testing::paper_kernels;
+
+struct ConsistencySweep : ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySweep, CostEvaluatorAgreesWithBuiltTree) {
+  const auto kc = paper_kernels()[static_cast<std::size_t>(GetParam())];
+  const auto inst = testing::make_instance(kc, 9000 + GetParam());
+  const Kernel& kernel = inst->bound.kernel;
+  const auto paths = executable_paths(kernel, inst->bound.stats);
+  ASSERT_FALSE(paths.empty());
+  const MaxBufferDimCost dim_cost;
+  const MaxBufferSizeCost size_cost;
+  Rng rng(4242 + static_cast<std::uint64_t>(GetParam()));
+  int paths_checked = 0;
+  for (const auto& path : paths) {
+    if (++paths_checked > 3) break;
+    for (const auto& order : sample_orders(kernel, path, {}, 12, rng)) {
+      const LoopTree tree = LoopTree::build(kernel, path, order);
+      EXPECT_DOUBLE_EQ(
+          evaluate_cost(kernel, path, order, dim_cost).primary,
+          static_cast<double>(tree.max_buffer_dim()))
+          << kc.name << " " << order_to_string(kernel, order);
+      EXPECT_DOUBLE_EQ(
+          evaluate_cost(kernel, path, order, size_cost).primary,
+          static_cast<double>(tree.max_buffer_size()))
+          << kc.name << " " << order_to_string(kernel, order);
+    }
+  }
+}
+
+TEST_P(ConsistencySweep, ExecutorCollapseNeverExceedsTreeOffloadCount) {
+  const auto kc = paper_kernels()[static_cast<std::size_t>(GetParam())];
+  const auto inst = testing::make_instance(kc, 9100 + GetParam());
+  const Kernel& kernel = inst->bound.kernel;
+  const auto paths = executable_paths(kernel, inst->bound.stats);
+  Rng rng(777 + static_cast<std::uint64_t>(GetParam()));
+  for (const auto& order : sample_orders(kernel, paths[0], {}, 8, rng)) {
+    const FusedExecutor exec(kernel, paths[0], order);
+    const int tree_count = exec.tree().count_offloadable_dense_loops(
+        kernel, paths[0], order);
+    EXPECT_LE(exec.collapsed_loops(), tree_count)
+        << kc.name << " " << order_to_string(kernel, order);
+    EXPECT_GE(exec.collapsed_loops(), 0);
+  }
+}
+
+TEST_P(ConsistencySweep, RenderedNestMentionsEveryLoopIndex) {
+  const auto kc = paper_kernels()[static_cast<std::size_t>(GetParam())];
+  const auto inst = testing::make_instance(kc, 9200 + GetParam());
+  const Kernel& kernel = inst->bound.kernel;
+  const Plan plan = plan_kernel(inst->bound);
+  const std::string text = plan.tree.render(kernel, plan.path);
+  for (int id : kernel.all_indices().elements()) {
+    EXPECT_NE(text.find("for " + kernel.index_name(id)), std::string::npos)
+        << kc.name << " missing loop for " << kernel.index_name(id) << "\n"
+        << text;
+  }
+}
+
+TEST_P(ConsistencySweep, ParserRoundTripsCanonicalForm) {
+  const auto kc = paper_kernels()[static_cast<std::size_t>(GetParam())];
+  const Kernel k1 = Kernel::parse(kc.expr);
+  const Kernel k2 = Kernel::parse(k1.to_string());
+  EXPECT_EQ(k1.to_string(), k2.to_string());
+  EXPECT_EQ(k1.num_indices(), k2.num_indices());
+  EXPECT_EQ(k1.sparse_input(), k2.sparse_input());
+  EXPECT_EQ(k1.output_is_sparse(), k2.output_is_sparse());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, ConsistencySweep, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return paper_kernels()[static_cast<std::size_t>(info.param)].name;
+    });
+
+}  // namespace
+}  // namespace spttn

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "tensor/einsum.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+namespace {
+
+TEST(Einsum, ParsesMttkrp) {
+  const Kernel k = Kernel::parse("A(i,a) = T(i,j,k)*B(j,a)*C(k,a)");
+  EXPECT_EQ(k.num_inputs(), 3);
+  EXPECT_EQ(k.output().name, "A");
+  EXPECT_EQ(k.sparse_input(), 0);
+  EXPECT_EQ(k.sparse_ref().name, "T");
+  EXPECT_EQ(k.num_indices(), 4);
+  EXPECT_EQ(k.index_name(0), "i");  // ids assigned by first appearance
+  EXPECT_EQ(k.index_id("k"), 3);
+  EXPECT_EQ(k.index_id("zz"), -1);
+}
+
+TEST(Einsum, WhitespaceInsensitive) {
+  const Kernel k = Kernel::parse("  A( i , a ) =  T(i,j,k) * B(j,a)*C(k,a) ");
+  EXPECT_EQ(k.to_string(), "A(i,a) = T(i,j,k) * B(j,a) * C(k,a)");
+}
+
+TEST(Einsum, MultiCharacterIndexNames) {
+  const Kernel k = Kernel::parse("Out(row,rank) = T(row,col)*F(col,rank)");
+  EXPECT_EQ(k.num_indices(), 3);
+  // Ids by first appearance: row, rank (output), then col.
+  EXPECT_EQ(k.index_name(1), "rank");
+  EXPECT_EQ(k.index_name(2), "col");
+}
+
+TEST(Einsum, SparseByName) {
+  const Kernel k = Kernel::parse("A(i,a) = B(j,a)*T(i,j)", "T");
+  EXPECT_EQ(k.sparse_input(), 1);
+  EXPECT_EQ(k.sparse_ref().name, "T");
+}
+
+TEST(Einsum, IndexSetsAndContraction) {
+  const Kernel k = Kernel::parse("S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)");
+  EXPECT_EQ(k.all_indices().size(), 5);
+  EXPECT_EQ(k.contracted_indices().size(), 2);  // j, k
+  EXPECT_TRUE(k.contracted_indices().contains(k.index_id("j")));
+  EXPECT_EQ(k.dense_only_indices().size(), 2);  // r, s
+  EXPECT_EQ(k.sparse_modes().size(), 3);
+}
+
+TEST(Einsum, CsfLevels) {
+  const Kernel k = Kernel::parse("A(i,a) = T(i,j,k)*B(j,a)*C(k,a)");
+  EXPECT_EQ(k.csf_level(k.index_id("i")), 0);
+  EXPECT_EQ(k.csf_level(k.index_id("j")), 1);
+  EXPECT_EQ(k.csf_level(k.index_id("k")), 2);
+  EXPECT_EQ(k.csf_level(k.index_id("a")), -1);
+}
+
+TEST(Einsum, SparseOutputDetection) {
+  EXPECT_TRUE(Kernel::parse("S(i,j,k) = T(i,j,k)*U(i,r)*V(j,r)*W(k,r)")
+                  .output_is_sparse());
+  EXPECT_FALSE(
+      Kernel::parse("S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)").output_is_sparse());
+  // Reordered output indices do not count as the sparse pattern.
+  EXPECT_FALSE(Kernel::parse("S(j,i,k) = T(i,j,k)*U(i,r)*V(j,r)*W(k,r)")
+                   .output_is_sparse());
+}
+
+TEST(Einsum, DimBindingAndConflicts) {
+  Kernel k = Kernel::parse("A(i,a) = T(i,j)*B(j,a)");
+  EXPECT_FALSE(k.dims_bound());
+  EXPECT_THROW(k.index_dim(0), Error);
+  k.set_index_dim(0, 10);
+  k.set_index_dim(1, 20);
+  k.set_index_dim(2, 5);
+  EXPECT_TRUE(k.dims_bound());
+  EXPECT_EQ(k.index_dim(1), 20);
+  k.set_index_dim(1, 20);                       // idempotent rebind OK
+  EXPECT_THROW(k.set_index_dim(1, 21), Error);  // conflict
+  EXPECT_THROW(k.set_index_dim(1, 0), Error);   // nonpositive
+}
+
+TEST(Einsum, RejectsMalformedExpressions) {
+  EXPECT_THROW(Kernel::parse("A(i,a) = "), Error);
+  EXPECT_THROW(Kernel::parse("A(i,a) T(i,j)"), Error);
+  EXPECT_THROW(Kernel::parse("A(i,a) = T(i,j"), Error);
+  EXPECT_THROW(Kernel::parse("A(i,a) = T()"), Error);
+  EXPECT_THROW(Kernel::parse("A(i,a) = T(i,j) * "), Error);
+  EXPECT_THROW(Kernel::parse("A(i,a) = T(i,j) extra"), Error);
+}
+
+TEST(Einsum, RejectsDiagonalAccess) {
+  EXPECT_THROW(Kernel::parse("A(i) = T(i,i)"), Error);
+}
+
+TEST(Einsum, RejectsOutputOnlyIndex) {
+  EXPECT_THROW(Kernel::parse("A(i,z) = T(i,j)*B(j)"), Error);
+}
+
+TEST(Einsum, RejectsUnknownSparseName) {
+  EXPECT_THROW(Kernel::parse("A(i) = T(i,j)*B(j)", "Q"), Error);
+}
+
+TEST(Einsum, DimsToStringShowsUnbound) {
+  Kernel k = Kernel::parse("A(i) = T(i,j)*B(j)");
+  k.set_index_dim(0, 4);
+  const std::string s = k.dims_to_string();
+  EXPECT_NE(s.find("i=4"), std::string::npos);
+  EXPECT_NE(s.find("j=?"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spttn

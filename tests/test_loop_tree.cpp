@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "core/loop_order.hpp"
+#include "core/loop_tree.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+namespace {
+
+/// Order-3 TTMc with the paper's contraction path (T*V first, then *U).
+struct Ttmc3 {
+  Kernel kernel = Kernel::parse("S(i,r,s) = T(i,j,k)*V(k,s)*U(j,r)");
+  ContractionPath path;
+  int i, j, k, r, s;
+
+  Ttmc3() {
+    for (const auto& [n, d] :
+         std::vector<std::pair<std::string, std::int64_t>>{
+             {"i", 10}, {"j", 9}, {"k", 8}, {"s", 5}, {"r", 4}}) {
+      kernel.set_index_dim(kernel.index_id(n), d);
+    }
+    path = chain_path(kernel);  // (T*V) -> X(i,j,s); (X*U) -> S
+    i = kernel.index_id("i");
+    j = kernel.index_id("j");
+    k = kernel.index_id("k");
+    r = kernel.index_id("r");
+    s = kernel.index_id("s");
+  }
+};
+
+TEST(Peel, SplitsSharedLeadingIndex) {
+  // Listing 3 orders: ((i,j,k,s),(i,j,s,r)) — peeling removes i from both.
+  const LoopOrder order{{0, 1, 2, 3}, {0, 1, 3, 4}};
+  const PeelResult p = peel(order);
+  EXPECT_EQ(p.root, 0);
+  EXPECT_EQ(p.covered, 2);
+  EXPECT_EQ(p.under_root[0], (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(p.under_root[1], (std::vector<int>{1, 3, 4}));
+  EXPECT_TRUE(p.remainder.empty());
+}
+
+TEST(Peel, StopsAtDifferentRoot) {
+  const LoopOrder order{{0, 1}, {2, 0}};
+  const PeelResult p = peel(order);
+  EXPECT_EQ(p.covered, 1);
+  ASSERT_EQ(p.remainder.size(), 1u);
+  EXPECT_EQ(p.remainder[0], (std::vector<int>{2, 0}));
+}
+
+TEST(LoopOrderValidity, ChecksPermutations) {
+  const Ttmc3 f;
+  // Valid: each A_i permutes the term's refs.
+  EXPECT_TRUE(is_valid_order(
+      f.path, {{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}}));
+  // Wrong index set.
+  EXPECT_FALSE(is_valid_order(
+      f.path, {{f.i, f.j, f.k, f.r}, {f.i, f.j, f.s, f.r}}));
+  // Repeated index.
+  EXPECT_FALSE(is_valid_order(
+      f.path, {{f.i, f.j, f.j, f.s}, {f.i, f.j, f.s, f.r}}));
+  // Wrong term count.
+  EXPECT_FALSE(is_valid_order(f.path, {{f.i, f.j, f.k, f.s}}));
+}
+
+TEST(LoopOrderValidity, CsfOrderRestriction) {
+  const Ttmc3 f;
+  EXPECT_TRUE(respects_csf_order(
+      f.kernel, f.path, {{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}}));
+  // k before j in the sparse-carrying first term violates CSF order.
+  EXPECT_FALSE(respects_csf_order(
+      f.kernel, f.path, {{f.i, f.k, f.j, f.s}, {f.i, f.j, f.s, f.r}}));
+  // Dense indices may interleave freely.
+  EXPECT_TRUE(respects_csf_order(
+      f.kernel, f.path, {{f.i, f.s, f.j, f.k}, {f.s, f.i, f.j, f.r}}));
+}
+
+TEST(LoopTree, Listing3ShapeAndBuffer) {
+  // Listing 3: orders ((i,j,k,s),(i,j,s,r)) fuse i,j; buffer X(s) of size S.
+  const Ttmc3 f;
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+
+  ASSERT_EQ(tree.top().size(), 1u);  // single root (i)
+  const auto& root = tree.nodes()[static_cast<std::size_t>(tree.top()[0].id)];
+  EXPECT_EQ(root.index, f.i);
+  EXPECT_TRUE(root.sparse);
+  EXPECT_EQ(root.csf_level, 0);
+
+  EXPECT_EQ(tree.max_buffer_dim(), 1);
+  EXPECT_EQ(tree.max_buffer_size(), 5);  // S = 5
+  const BufferSpec& buf = tree.buffers()[0];
+  EXPECT_EQ(buf.producer, 0);
+  EXPECT_EQ(buf.consumer, 1);
+  EXPECT_EQ(buf.indices, (std::vector<int>{f.s}));
+}
+
+TEST(LoopTree, Listing4FusesSAndBufferIsScalar) {
+  // Listing 4: orders ((i,j,s,k),(i,j,s,r)) fuse i,j,s; buffer is scalar.
+  const Ttmc3 f;
+  const LoopOrder order{{f.i, f.j, f.s, f.k}, {f.i, f.j, f.s, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  EXPECT_EQ(tree.max_buffer_dim(), 0);
+  EXPECT_EQ(tree.max_buffer_size(), 1);
+}
+
+TEST(LoopTree, Listing2UnfusedBufferIsFull) {
+  // Listing 2 (pairwise, no fusion): independent loop nests; the
+  // intermediate materializes at I x J x S.
+  const Ttmc3 f;
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.s, f.i, f.j, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  EXPECT_EQ(tree.top().size(), 3u);  // reset + two roots
+  EXPECT_EQ(tree.max_buffer_dim(), 3);
+  EXPECT_EQ(tree.max_buffer_size(), 10 * 9 * 5);
+}
+
+TEST(LoopTree, BufferIndexLoopsIterateSparselyAtMatchingDepth) {
+  const Ttmc3 f;
+  // Second term re-iterates j (a buffer index) under a dense s loop; j sits
+  // at sparse depth 1 (only i above is sparse) and is CSF level 1, so the
+  // runtime iterates it sparsely — reading exactly the pattern positions
+  // the producer wrote.
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.i, f.s, f.j, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  int sparse_loops = 0;
+  for (const auto& n : tree.nodes()) {
+    if (n.sparse) ++sparse_loops;
+  }
+  // Sparse: i (shared), j and k in term 1, j again in term 2.
+  EXPECT_EQ(sparse_loops, 4);
+}
+
+TEST(LoopTree, SparseModeOutOfDepthIteratesDensely) {
+  // SparseLNR-style schedule for TTMc written T*U*V: path (T*U) -> X(i,k,r)
+  // then (X*V). In the second term k appears at sparse depth 1 but is CSF
+  // level 2, so it must iterate densely over the K-wide workspace — the
+  // behaviour the paper describes for SparseLNR (intermediate K x R).
+  Kernel k2 = Kernel::parse("S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)");
+  for (const auto& [n, d] : std::vector<std::pair<std::string, std::int64_t>>{
+           {"i", 10}, {"j", 9}, {"k", 8}, {"r", 4}, {"s", 5}}) {
+    k2.set_index_dim(k2.index_id(n), d);
+  }
+  const ContractionPath path = chain_path(k2);
+  const int i = k2.index_id("i"), j = k2.index_id("j"), kk = k2.index_id("k"),
+            r = k2.index_id("r"), s = k2.index_id("s");
+  const LoopOrder order{{i, j, kk, r}, {i, kk, s, r}};
+  const LoopTree tree = LoopTree::build(k2, path, order);
+  // Buffer X spans {k, r}: the K x R workspace.
+  EXPECT_EQ(tree.buffers()[0].indices, (std::vector<int>{kk, r}));
+  EXPECT_EQ(tree.buffers()[0].size, 8 * 4);
+  // The second term's k loop is dense.
+  int dense_k = 0;
+  int sparse_k = 0;
+  for (const auto& n : tree.nodes()) {
+    if (n.index != kk) continue;
+    if (n.sparse) {
+      ++sparse_k;
+    } else {
+      ++dense_k;
+    }
+  }
+  EXPECT_EQ(sparse_k, 1);  // term 1's k, under (i, j)
+  EXPECT_EQ(dense_k, 1);   // term 2's k, under (i)
+}
+
+TEST(LoopTree, RejectsSparseTermViolatingCsfOrder) {
+  const Ttmc3 f;
+  // First term (touches T) iterates k before j — invalid.
+  const LoopOrder order{{f.i, f.k, f.j, f.s}, {f.i, f.j, f.s, f.r}};
+  EXPECT_THROW(LoopTree::build(f.kernel, f.path, order), Error);
+}
+
+TEST(LoopTree, ResetPlacedAtDeepestCommonAncestor) {
+  const Ttmc3 f;
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  // Find the j node: its body must be [reset(X1), loop(k), loop(s)].
+  const LoopTree::Node* jn = nullptr;
+  for (const auto& n : tree.nodes()) {
+    if (n.index == f.j) jn = &n;
+  }
+  ASSERT_NE(jn, nullptr);
+  ASSERT_GE(jn->body.size(), 3u);
+  EXPECT_EQ(jn->body[0].kind, LoopTree::Action::Kind::kReset);
+  EXPECT_EQ(jn->body[0].id, 0);
+  EXPECT_EQ(jn->body[1].kind, LoopTree::Action::Kind::kLoop);
+}
+
+TEST(LoopTree, MaxDepthMatchesListing) {
+  const Ttmc3 f;
+  const LoopOrder fused{{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}};
+  EXPECT_EQ(LoopTree::build(f.kernel, f.path, fused).max_depth(), 4);
+}
+
+TEST(LoopTree, RenderShowsSparseAndDenseLoops) {
+  const Ttmc3 f;
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  const std::string text = tree.render(f.kernel, f.path);
+  EXPECT_NE(text.find("for i in T.csf_level(0)"), std::string::npos);
+  EXPECT_NE(text.find("for s in range(s)"), std::string::npos);
+  EXPECT_NE(text.find("X1 = 0"), std::string::npos);
+  EXPECT_NE(text.find("S += X1 * U"), std::string::npos);
+}
+
+TEST(LoopTree, Order4TtmcMatchesFigure6) {
+  // Figure 6: S(i,r,s,t) = T(i,j,k,l) U(j,r) V(k,s) W(l,t) with path
+  // ((T*W), (*V), (*U)) and orders ((i,j,k,l,t),(i,j,k,s,t),(i,j,r,s,t)).
+  Kernel k = Kernel::parse("S(i,r,s,t) = T(i,j,k,l)*W(l,t)*V(k,s)*U(j,r)");
+  for (const auto& [n, d] : std::vector<std::pair<std::string, std::int64_t>>{
+           {"i", 8}, {"j", 7}, {"k", 6}, {"l", 5},
+           {"r", 3}, {"s", 4}, {"t", 2}}) {
+    k.set_index_dim(k.index_id(n), d);
+  }
+  const ContractionPath path = chain_path(k);
+  const int i = k.index_id("i"), j = k.index_id("j"), kk = k.index_id("k"),
+            l = k.index_id("l"), r = k.index_id("r"), s = k.index_id("s"),
+            t = k.index_id("t");
+  const LoopOrder order{{i, j, kk, l, t}, {i, j, kk, s, t}, {i, j, r, s, t}};
+  const LoopTree tree = LoopTree::build(k, path, order);
+  // Buffers: X(t) of size T=2 and Y(s,t) of size S*T=8 (paper Fig. 6).
+  EXPECT_EQ(tree.buffers()[0].indices, (std::vector<int>{t}));
+  EXPECT_EQ(tree.buffers()[0].size, 2);
+  EXPECT_EQ(tree.buffers()[1].indices, (std::vector<int>{s, t}));
+  EXPECT_EQ(tree.buffers()[1].size, 8);
+  EXPECT_EQ(tree.max_buffer_dim(), 2);
+  EXPECT_EQ(tree.max_depth(), 5);  // paper: maximum loop depth of five
+}
+
+TEST(LoopTree, OffloadableDenseLoopCount) {
+  const Ttmc3 f;
+  // Listing 3 nest: term1 trailing s (exclusive) and term2 trailing (s,r).
+  const LoopOrder order{{f.i, f.j, f.k, f.s}, {f.i, f.j, f.s, f.r}};
+  const LoopTree tree = LoopTree::build(f.kernel, f.path, order);
+  EXPECT_EQ(tree.count_offloadable_dense_loops(f.kernel, f.path, order), 3);
+}
+
+}  // namespace
+}  // namespace spttn

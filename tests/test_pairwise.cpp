@@ -1,0 +1,106 @@
+// Dedicated tests for the CTF-style pairwise engine: path selection,
+// statistics, memory-cap behaviour, and mixed operand kinds.
+#include <gtest/gtest.h>
+
+#include "exec/pairwise.hpp"
+#include "exec/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace spttn {
+namespace {
+
+using testing::paper_kernels;
+
+TEST(PairwiseStats, OpsAndPeakArePlausible) {
+  const auto inst = testing::make_instance(paper_kernels()[0], 5150);
+  const Kernel& k = inst->bound.kernel;
+  const ContractionPath path = pairwise_best_path(k, inst->bound.stats);
+  DenseTensor out = make_output(inst->bound);
+  const PairwiseStats st = pairwise_execute(
+      k, path, inst->sparse, inst->dense_slots(), &out, {});
+  // At least one multiply per nonzero per rank column.
+  EXPECT_GE(st.total_scalar_ops, inst->sparse.nnz());
+  EXPECT_GT(st.peak_intermediate_entries, 0);
+}
+
+TEST(PairwiseMemoryCap, ThrowsWhenIntermediateExceedsBudget) {
+  const auto inst = testing::make_instance(paper_kernels()[2], 5151);
+  const Kernel& k = inst->bound.kernel;
+  const ContractionPath path = pairwise_best_path(k, inst->bound.stats);
+  DenseTensor out = make_output(inst->bound);
+  EXPECT_THROW(pairwise_execute(k, path, inst->sparse, inst->dense_slots(),
+                                &out, {}, /*max_entries=*/4),
+               Error);
+}
+
+TEST(PairwisePathChoice, PrefersSparseChainForTttp) {
+  // The fused-optimistic estimate would pick the dense (U*V) pre-product;
+  // a pairwise framework must not, because that intermediate materializes
+  // densely. The chosen first term must involve the sparse tensor.
+  const auto inst = testing::make_instance(paper_kernels()[4], 5152);
+  const Kernel& k = inst->bound.kernel;
+  const ContractionPath path = pairwise_best_path(k, inst->bound.stats);
+  const PathTerm& first = path.terms.front();
+  const bool sparse_first =
+      (first.lhs.kind == PathOperand::Kind::kInput &&
+       first.lhs.id == k.sparse_input()) ||
+      (first.rhs.kind == PathOperand::Kind::kInput &&
+       first.rhs.id == k.sparse_input());
+  EXPECT_TRUE(sparse_first) << path.to_string(k);
+}
+
+TEST(PairwiseFlops, DensePreProductCostsMoreThanChain) {
+  const auto inst = testing::make_instance(paper_kernels()[4], 5153);
+  const Kernel& k = inst->bound.kernel;
+  double chain_cost = -1;
+  double dense_first_cost = -1;
+  for (const auto& p : enumerate_paths(k)) {
+    const PathTerm& first = p.terms.front();
+    const bool sparse_first =
+        (first.lhs.kind == PathOperand::Kind::kInput &&
+         first.lhs.id == k.sparse_input()) ||
+        (first.rhs.kind == PathOperand::Kind::kInput &&
+         first.rhs.id == k.sparse_input());
+    const double c = pairwise_path_flops(k, p, inst->bound.stats);
+    if (sparse_first) {
+      if (chain_cost < 0 || c < chain_cost) chain_cost = c;
+    } else {
+      if (dense_first_cost < 0 || c < dense_first_cost) dense_first_cost = c;
+    }
+  }
+  ASSERT_GT(chain_cost, 0);
+  ASSERT_GT(dense_first_cost, 0);
+  EXPECT_LT(chain_cost, dense_first_cost);
+}
+
+TEST(PairwiseEdgeCases, EmptySparseTensor) {
+  CooTensor empty({4, 4, 4});
+  empty.sort_dedup();
+  Rng rng(1);
+  const DenseTensor b = random_dense({4, 3}, rng);
+  const DenseTensor c = random_dense({4, 3}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", empty, {&b, &c});
+  const ContractionPath path = pairwise_best_path(bound.kernel, bound.stats);
+  DenseTensor out = make_output(bound);
+  out.fill(3.0);
+  pairwise_execute(bound.kernel, path, empty, bound.dense, &out, {});
+  EXPECT_DOUBLE_EQ(out.norm(), 0.0);
+}
+
+TEST(PairwiseEdgeCases, SingleContractionKernel) {
+  // Two-input kernel: the single term writes the output directly.
+  Rng rng(2);
+  CooTensor t = random_coo({6, 5}, 12, rng);
+  const DenseTensor x = random_dense({5}, rng);
+  const BoundKernel bound = bind("y(i) = T(i,j)*x(j)", t, {&x});
+  const ContractionPath path = pairwise_best_path(bound.kernel, bound.stats);
+  DenseTensor got = make_output(bound);
+  pairwise_execute(bound.kernel, path, t, bound.dense, &got, {});
+  DenseTensor want = make_output(bound);
+  reference_execute(bound.kernel, t, bound.dense, &want, {});
+  EXPECT_LT(want.max_abs_diff(got), 1e-12);
+}
+
+}  // namespace
+}  // namespace spttn

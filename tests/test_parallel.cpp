@@ -1,0 +1,111 @@
+// Shared-memory parallel execution: threaded runs must reproduce the
+// sequential result exactly for every kernel family (dense and sparse
+// outputs, sparse and dense root loops).
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "exec/schedules.hpp"
+#include "test_helpers.hpp"
+
+namespace spttn {
+namespace {
+
+using testing::paper_kernels;
+
+struct ParallelVsSequential
+    : ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelVsSequential, SameResult) {
+  const auto [kernel_idx, threads] = GetParam();
+  const auto inst = testing::make_instance(
+      paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+      6000 + kernel_idx);
+  const Kernel& kernel = inst->bound.kernel;
+  const Plan plan = plan_kernel(inst->bound);
+  FusedExecutor exec(kernel, plan);
+
+  ExecArgs args;
+  args.sparse = &inst->bound.csf;
+  args.dense = inst->bound.dense;
+
+  DenseTensor seq_out;
+  DenseTensor par_out;
+  std::vector<double> seq_vals;
+  std::vector<double> par_vals;
+  if (kernel.output_is_sparse()) {
+    seq_vals.assign(static_cast<std::size_t>(inst->sparse.nnz()), 0.0);
+    par_vals = seq_vals;
+    args.out_sparse = seq_vals;
+    exec.execute(args);
+    args.out_sparse = par_vals;
+    args.num_threads = threads;
+    exec.execute(args);
+    for (std::size_t e = 0; e < seq_vals.size(); ++e) {
+      ASSERT_NEAR(seq_vals[e], par_vals[e], 1e-12);
+    }
+  } else {
+    seq_out = make_output(inst->bound);
+    par_out = make_output(inst->bound);
+    args.out_dense = &seq_out;
+    exec.execute(args);
+    args.out_dense = &par_out;
+    args.num_threads = threads;
+    exec.execute(args);
+    ASSERT_LT(seq_out.max_abs_diff(par_out), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsByThreads, ParallelVsSequential,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Values(2, 3, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return paper_kernels()[static_cast<std::size_t>(
+                                 std::get<0>(info.param))]
+                 .name +
+             "_t" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Parallel, MoreThreadsThanRootsIsSafe) {
+  CooTensor t({3, 4, 4});
+  t.push_back({0, 1, 2}, 1.0);
+  t.push_back({2, 0, 1}, 2.0);
+  t.sort_dedup();
+  Rng rng(1);
+  const DenseTensor b = random_dense({4, 2}, rng);
+  const DenseTensor c = random_dense({4, 2}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+  const Plan plan = plan_kernel(bound);
+  FusedExecutor exec(bound.kernel, plan);
+  DenseTensor out = make_output(bound);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+  args.out_dense = &out;
+  args.num_threads = 16;  // only 2 root nodes exist
+  exec.execute(args);
+  EXPECT_GT(out.norm(), 0.0);
+}
+
+TEST(Parallel, MultiRootForestFallsBackToSequential) {
+  // The unfused schedule has several root trees; threaded execution must
+  // still be correct (it silently runs sequentially).
+  const auto inst = testing::make_instance(paper_kernels()[2], 6100);
+  const Kernel& kernel = inst->bound.kernel;
+  const auto [path, order] = unfused_pairwise_schedule(kernel);
+  FusedExecutor exec(kernel, path, order);
+  DenseTensor a = make_output(inst->bound);
+  DenseTensor b = make_output(inst->bound);
+  ExecArgs args;
+  args.sparse = &inst->bound.csf;
+  args.dense = inst->bound.dense;
+  args.out_dense = &a;
+  exec.execute(args);
+  args.out_dense = &b;
+  args.num_threads = 4;
+  exec.execute(args);
+  EXPECT_LT(a.max_abs_diff(b), 1e-9);
+}
+
+}  // namespace
+}  // namespace spttn

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/generate.hpp"
+#include "tensor/tns_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+namespace {
+
+TEST(TnsIo, ParsesBasicFile) {
+  std::istringstream in(
+      "# a comment\n"
+      "1 2 3 1.5\n"
+      "\n"
+      "4 1 2 -2.25\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.dims(), (std::vector<std::int64_t>{4, 2, 3}));
+  ASSERT_EQ(t.nnz(), 2);
+  // 0-based, sorted: (0,1,2)=1.5 then (3,0,1)=-2.25.
+  EXPECT_EQ(t.coord(0)[0], 0);
+  EXPECT_EQ(t.coord(0)[2], 2);
+  EXPECT_DOUBLE_EQ(t.value(0), 1.5);
+  EXPECT_DOUBLE_EQ(t.value(1), -2.25);
+}
+
+TEST(TnsIo, ExplicitDimsValidate) {
+  std::istringstream ok("1 1 2.0\n");
+  const CooTensor t = read_tns(ok, {5, 6});
+  EXPECT_EQ(t.dims(), (std::vector<std::int64_t>{5, 6}));
+  std::istringstream bad("7 1 2.0\n");
+  EXPECT_THROW(read_tns(bad, {5, 6}), Error);
+}
+
+TEST(TnsIo, DuplicatesAreSummed) {
+  std::istringstream in("1 1 2.0\n1 1 3.0\n");
+  const CooTensor t = read_tns(in);
+  ASSERT_EQ(t.nnz(), 1);
+  EXPECT_DOUBLE_EQ(t.value(0), 5.0);
+}
+
+TEST(TnsIo, RejectsMalformedInput) {
+  std::istringstream empty("# only comments\n");
+  EXPECT_THROW(read_tns(empty), Error);
+  std::istringstream arity("1 2 3 1.0\n1 2 1.0\n");
+  EXPECT_THROW(read_tns(arity), Error);
+  std::istringstream zero_index("0 1 1.0\n");
+  EXPECT_THROW(read_tns(zero_index), Error);
+  std::istringstream fractional("1.5 1 1.0\n");
+  EXPECT_THROW(read_tns(fractional), Error);
+  std::istringstream value_only("3.0\n");
+  EXPECT_THROW(read_tns(value_only), Error);
+}
+
+TEST(TnsIo, RoundTripsRandomTensor) {
+  Rng rng(99);
+  const CooTensor t = random_coo({9, 8, 7}, 60, rng);
+  std::stringstream buf;
+  write_tns(buf, t);
+  const CooTensor back = read_tns(buf, t.dims());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (std::int64_t e = 0; e < t.nnz(); ++e) {
+    EXPECT_EQ(std::vector<std::int64_t>(back.coord(e).begin(),
+                                        back.coord(e).end()),
+              std::vector<std::int64_t>(t.coord(e).begin(),
+                                        t.coord(e).end()));
+    EXPECT_DOUBLE_EQ(back.value(e), t.value(e));
+  }
+}
+
+TEST(TnsIo, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/path.tns"), Error);
+}
+
+}  // namespace
+}  // namespace spttn

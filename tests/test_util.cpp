@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/index_set.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace spttn {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(IndexSet, BasicOps) {
+  IndexSet s{1, 3, 5};
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 3);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 2);
+  s.insert(63);
+  EXPECT_TRUE(s.contains(63));
+}
+
+TEST(IndexSet, SetAlgebra) {
+  IndexSet a{0, 1, 2};
+  IndexSet b{2, 3};
+  EXPECT_EQ((a | b), (IndexSet{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), (IndexSet{2}));
+  EXPECT_EQ((a - b), (IndexSet{0, 1}));
+  EXPECT_TRUE((IndexSet{0, 1}).subset_of(a));
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((IndexSet{5}).intersects(a));
+}
+
+TEST(IndexSet, IterationAscending) {
+  IndexSet s{9, 2, 40};
+  std::vector<int> got;
+  for (int id : s.elements()) got.push_back(id);
+  EXPECT_EQ(got, (std::vector<int>{2, 9, 40}));
+  EXPECT_EQ(s.to_vector(), got);
+}
+
+TEST(IndexSet, EmptyAndBoundsChecks) {
+  IndexSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(-1));
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_THROW(s.insert(64), Error);
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, TrimAndStrip) {
+  EXPECT_EQ(trim("  x y \n"), "x y");
+  EXPECT_EQ(strip_whitespace(" a b\tc\n"), "abc");
+}
+
+TEST(Strings, FormatAndHuman) {
+  EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(human_count(1.5e6), "1.5M");
+  EXPECT_EQ(human_count(12), "12");
+  EXPECT_EQ(join({"a", "b"}, "+"), "a+b");
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({3, 1, 2});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 3);
+  EXPECT_DOUBLE_EQ(s.median, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 2);
+}
+
+TEST(Stats, EvenMedianAndEmpty) {
+  EXPECT_DOUBLE_EQ(summarize({1, 2, 3, 4}).median, 2.5);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  t.add_note("a note");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("note: a note"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(ErrorMacros, CheckMessages) {
+  try {
+    SPTTN_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spttn
