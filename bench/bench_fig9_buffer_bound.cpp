@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
                     "nest#2[s] (bound 2)", "#2 vs #1", "bufdim#1", "bufdim#2",
                     "offload#1", "offload#2"});
 
-  for (const std::string name :
+  for (const std::string& name :
        {std::string("nell-2"), std::string("nips"), std::string("vast-3d"),
         std::string("synth3")}) {
     Rng rng(static_cast<std::uint64_t>(*seed) ^ hash_mix(name.size() * 31));

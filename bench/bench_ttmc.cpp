@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(*rank)));
   t3.set_header({"tensor", "nnz", "SpTTN[s]", "TACO[s]", "SparseLNR[s]",
                  "CTF[s]", "vs TACO", "vs SpLNR", "vs CTF"});
-  for (const std::string name :
+  for (const std::string& name :
        {std::string("nell-2"), std::string("vast-3d"), std::string("darpa"),
         std::string("synth3")}) {
     Rng rng(static_cast<std::uint64_t>(*seed) ^ hash_mix(name.size() * 7));
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(*rank)));
   t4.set_header({"tensor", "nnz", "SpTTN[s]", "TACO[s]", "SparseLNR[s]",
                  "vs TACO", "vs SpLNR", "maxdepth", "bufdim"});
-  for (const std::string name : {std::string("nips"), std::string("synth4")}) {
+  for (const std::string& name : {std::string("nips"), std::string("synth4")}) {
     Rng rng(static_cast<std::uint64_t>(*seed) ^ hash_mix(name.size() * 13));
     CooTensor t = make_preset_tensor(name, *scale, rng);
     if (t.order() != 4) continue;

@@ -2,8 +2,7 @@
 // sees — every executable contraction path, the cost-optimal loop nest per
 // path, and the chosen plan rendered as pseudocode.
 //
-//   build/examples/loop_explorer \
-//     --expr "S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)" --sparse-dim 200 --rank 16
+//   build/examples/loop_explorer --expr "S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)" --sparse-dim 200 --rank 16
 #include <iostream>
 
 #include "core/enumerate.hpp"

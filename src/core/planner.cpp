@@ -59,20 +59,22 @@ std::vector<ContractionPath> executable_paths(const Kernel& kernel,
 namespace {
 
 /// Run the DP across one FLOP group; fills `plan` when a feasible nest with
-/// the best group cost is found.
+/// the best group cost is found. `stats` receives the group's search
+/// statistics (the caller accumulates them into the Plan diagnostics).
 bool search_group(const Kernel& kernel,
                   const std::vector<const ContractionPath*>& group,
                   const TreeCost& cost, const PlannerOptions& options,
-                  const SparsityStats& stats, Plan* plan) {
+                  SearchStats* stats, Plan* plan) {
   DpOptions dp_options;
   dp_options.restrict_csf_order = options.restrict_csf_order;
   bool found = false;
   for (const ContractionPath* path : group) {
     const DpResult r = optimal_order(kernel, *path, cost, dp_options);
-    plan->paths_searched += 1;
-    plan->dp_subproblems += r.subproblems;
-    plan->dp_evaluations += r.evaluations;
+    stats->paths_searched += 1;
+    stats->dp_subproblems += r.subproblems;
+    stats->dp_evaluations += r.evaluations;
     if (!r.feasible) continue;
+    stats->paths_feasible += 1;
     if (!found || r.best_cost < plan->cost) {
       plan->path = *path;
       plan->order = r.best;
@@ -124,11 +126,16 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
   PlannerOptions effective = options;
   const int max_bound = std::max(options.buffer_dim_bound,
                                  kernel.num_indices());
+  SearchStats search;
   for (int bound = options.buffer_dim_bound; bound <= max_bound; ++bound) {
     effective.buffer_dim_bound = bound;
     const std::unique_ptr<TreeCost> cost = make_cost_model(effective, &stats);
     for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (search_group(kernel, groups[g], *cost, effective, stats, &plan)) {
+      if (search_group(kernel, groups[g], *cost, effective, &search, &plan)) {
+        plan.paths_searched = search.paths_searched;
+        plan.paths_feasible = search.paths_feasible;
+        plan.dp_subproblems = search.dp_subproblems;
+        plan.dp_evaluations = search.dp_evaluations;
         plan.flops = path_flops(kernel, plan.path, stats);
         plan.buffer_dim_bound = bound;
         plan.tree = LoopTree::build(kernel, plan.path, plan.order);

@@ -45,6 +45,14 @@ struct PlannerOptions {
   int max_paths_searched = 256;
 };
 
+/// Statistics of one DP search over a group of contraction paths.
+struct SearchStats {
+  int paths_searched = 0;       ///< paths run through the DP
+  int paths_feasible = 0;       ///< paths admitting a loop nest under the bound
+  std::int64_t dp_subproblems = 0;
+  std::int64_t dp_evaluations = 0;
+};
+
 /// A fully planned SpTTN execution.
 struct Plan {
   ContractionPath path;
@@ -58,6 +66,7 @@ struct Plan {
   int paths_total = 0;          ///< enumerated contraction paths
   int paths_executable = 0;     ///< single-CSF executable paths
   int paths_searched = 0;       ///< paths run through the DP
+  int paths_feasible = 0;       ///< searched paths with a feasible nest
   std::int64_t dp_subproblems = 0;
   std::int64_t dp_evaluations = 0;
 

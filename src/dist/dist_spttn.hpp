@@ -1,0 +1,71 @@
+// Simulated distributed-memory SpTTN execution (paper Section 5.2).
+//
+// The sparse tensor's nonzeros are partitioned cyclically over a ProcGrid;
+// each rank runs the planner-chosen loop nest on its local CSF via the
+// sequential executor (timed for real), dense factors are charged as
+// allgathers and dense outputs as an all-reduce under the alpha-beta model
+// of dist/comm_model.hpp. Sparse outputs (TTTP) live with their owning rank
+// and need no reduction. This mirrors how CoNST and SparseAuto validate
+// distributed schedules without a live MPI cluster.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/comm_model.hpp"
+#include "dist/grid.hpp"
+#include "exec/spttn.hpp"
+
+namespace spttn {
+
+/// Outcome of one simulated distributed run.
+struct DistResult {
+  int ranks = 1;
+  ProcGrid grid;
+  /// Measured wall-clock of each rank's local kernel (zero for idle ranks).
+  std::vector<double> local_seconds;
+  double max_local_seconds = 0;
+  /// Modeled collective time / volume (factor allgathers + output
+  /// all-reduce; zero on a single rank).
+  double comm_seconds = 0;
+  std::int64_t comm_bytes = 0;
+  /// Load imbalance: max over ranks of local nnz divided by the mean.
+  double imbalance = 1.0;
+
+  /// Simulated end-to-end time: slowest rank plus collectives.
+  double time() const { return max_local_seconds + comm_seconds; }
+};
+
+/// A bound kernel prepared for execution on `ranks` simulated processes.
+///
+/// Construction partitions the nonzeros (cheap, metadata only); run() plans
+/// once from the global sparsity statistics — SPMD ranks execute the same
+/// nest — then executes every rank's local problem and merges the partials.
+class DistSpttn {
+ public:
+  DistSpttn(const BoundKernel& bound, int ranks, CommParams params = {});
+
+  const ProcGrid& grid() const { return grid_; }
+  /// Nonzeros owned by each rank; sums to the global nnz.
+  const std::vector<std::int64_t>& local_nnz() const { return local_nnz_; }
+
+  /// Execute. For dense-output kernels the reduced result is written to
+  /// `dense_out` (may be null to discard, e.g. for scaling benches); for
+  /// sparse-output kernels the merged per-nonzero values go to `sparse_out`
+  /// in global (sorted-COO) entry order (may be empty to discard).
+  DistResult run(const PlannerOptions& options, DenseTensor* dense_out,
+                 std::span<double> sparse_out) const;
+
+ private:
+  const BoundKernel* bound_;
+  int ranks_;
+  CommParams params_;
+  ProcGrid grid_;
+  std::vector<CooTensor> local_coo_;  ///< one partition per rank
+  /// Global entry index of each rank's e-th local nonzero.
+  std::vector<std::vector<std::int64_t>> entry_map_;
+  std::vector<std::int64_t> local_nnz_;
+};
+
+}  // namespace spttn

@@ -1,0 +1,84 @@
+#include "dist/grid.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Prime factors of n in descending order (e.g. 12 -> {3, 2, 2}).
+std::vector<int> prime_factors_desc(int n) {
+  std::vector<int> factors;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  return factors;
+}
+
+}  // namespace
+
+ProcGrid ProcGrid::make(int p, std::span<const std::int64_t> mode_dims) {
+  SPTTN_CHECK_MSG(p >= 1, "processor count must be positive, got " << p);
+  SPTTN_CHECK_MSG(!mode_dims.empty(), "grid needs at least one tensor mode");
+  ProcGrid g;
+  g.size_ = p;
+  g.dims_.assign(mode_dims.size(), 1);
+  // Greedy balanced assignment: each prime factor (largest first) goes to
+  // the mode with the largest per-process extent dim/grid_dim, so the
+  // products stay as even as the factorization allows while skewed modes
+  // absorb more ranks.
+  for (int f : prime_factors_desc(p)) {
+    std::size_t best = 0;
+    double best_extent = -1;
+    for (std::size_t m = 0; m < g.dims_.size(); ++m) {
+      const double extent =
+          static_cast<double>(mode_dims[m]) / static_cast<double>(g.dims_[m]);
+      if (extent > best_extent) {
+        best_extent = extent;
+        best = m;
+      }
+    }
+    g.dims_[best] *= f;
+  }
+  return g;
+}
+
+int ProcGrid::owner_of(std::span<const std::int64_t> coord) const {
+  SPTTN_CHECK_MSG(coord.size() == dims_.size(),
+                  "coordinate order " << coord.size()
+                                      << " != grid order " << dims_.size());
+  int rank = 0;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    rank = rank * dims_[m] + static_cast<int>(coord[m] % dims_[m]);
+  }
+  return rank;
+}
+
+std::vector<int> ProcGrid::rank_coord(int rank) const {
+  SPTTN_CHECK_MSG(rank >= 0 && rank < size_, "rank " << rank
+                                                     << " out of range");
+  std::vector<int> coord(dims_.size(), 0);
+  for (std::size_t m = dims_.size(); m-- > 0;) {
+    coord[m] = rank % dims_[m];
+    rank /= dims_[m];
+  }
+  return coord;
+}
+
+std::string ProcGrid::describe() const {
+  std::string s;
+  for (std::size_t m = 0; m < dims_.size(); ++m) {
+    if (m) s += "x";
+    s += std::to_string(dims_[m]);
+  }
+  return s;
+}
+
+}  // namespace spttn

@@ -1,0 +1,55 @@
+// Processor grid for the simulated distributed-memory runtime
+// (paper Section 5.2: SpTTN-Cyclops distributes the sparse tensor cyclically
+// over a grid of MPI ranks matched to the tensor's mode sizes).
+//
+// The grid is a mixed-radix layout: rank r has coordinate rank_coord(r) and
+// nonzero (i1,...,im) lives on the rank whose coordinate is
+// (i1 mod d1, ..., im mod dm) — the cyclic distribution CTF and
+// SpTTN-Cyclops use, which balances nonzeros without inspecting them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace spttn {
+
+/// An m-dimensional processor grid with prod(dims) == p ranks.
+class ProcGrid {
+ public:
+  ProcGrid() = default;
+
+  /// Factor `p` ranks over the modes of a tensor with the given extents.
+  /// Prime factors of p are assigned greedily (largest first) to the mode
+  /// with the largest per-process extent, so balanced tensors get balanced
+  /// grids and skewed tensors concentrate ranks on their large modes.
+  static ProcGrid make(int p, std::span<const std::int64_t> mode_dims);
+  static ProcGrid make(int p, const std::vector<std::int64_t>& mode_dims) {
+    return make(p, std::span<const std::int64_t>(mode_dims));
+  }
+
+  int size() const { return size_; }
+  int order() const { return static_cast<int>(dims_.size()); }
+  const std::vector<int>& dims() const { return dims_; }
+
+  /// Owning rank of a tensor coordinate under the cyclic layout:
+  /// mixed-radix combination of (coord[m] mod dims[m]).
+  int owner_of(std::span<const std::int64_t> coord) const;
+  int owner_of(const std::vector<std::int64_t>& coord) const {
+    return owner_of(std::span<const std::int64_t>(coord));
+  }
+
+  /// Grid coordinate of a rank; inverse of the mixed-radix rule owner_of
+  /// uses (rank = sum_m coord[m] * prod_{m'>m} dims[m']).
+  std::vector<int> rank_coord(int rank) const;
+
+  /// "4x2x1"-style rendering for tables.
+  std::string describe() const;
+
+ private:
+  int size_ = 1;
+  std::vector<int> dims_;
+};
+
+}  // namespace spttn

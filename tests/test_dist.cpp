@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dist/comm_model.hpp"
 #include "dist/dist_spttn.hpp"
 #include "dist/grid.hpp"
@@ -57,6 +59,53 @@ TEST(ProcGrid, RankCoordRoundTrips) {
       rank = rank * g.dims()[m] + coord[m];
     }
     EXPECT_EQ(rank, r);
+  }
+}
+
+TEST(ProcGrid, SingleProcessGridIsAllOnes) {
+  const std::vector<std::int64_t> modes{32, 16, 8};
+  const ProcGrid g = ProcGrid::make(1, modes);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_EQ(g.describe(), "1x1x1");
+  for (int d : g.dims()) EXPECT_EQ(d, 1);
+  EXPECT_EQ(g.owner_of({5, 3, 1}), 0);
+  EXPECT_EQ(g.rank_coord(0), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(ProcGrid, PrimeLargerThanAnyModeStaysWhole) {
+  // p = 13 has no nontrivial factorization, so it lands whole on one mode
+  // even though every extent is smaller; ownership must stay in range (the
+  // surplus ranks simply own no coordinates).
+  const std::vector<std::int64_t> modes{4, 5};
+  const ProcGrid g = ProcGrid::make(13, modes);
+  int prod = 1;
+  int max_dim = 0;
+  for (int d : g.dims()) {
+    prod *= d;
+    max_dim = std::max(max_dim, d);
+  }
+  EXPECT_EQ(prod, 13);
+  EXPECT_EQ(max_dim, 13);
+  for (std::int64_t i = 0; i < modes[0]; ++i) {
+    for (std::int64_t j = 0; j < modes[1]; ++j) {
+      const int r = g.owner_of({i, j});
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, g.size());
+    }
+  }
+}
+
+TEST(ProcGrid, SingleModeTensor) {
+  const std::vector<std::int64_t> modes{100};
+  const ProcGrid g = ProcGrid::make(6, modes);
+  EXPECT_EQ(g.order(), 1);
+  ASSERT_EQ(g.dims().size(), 1u);
+  EXPECT_EQ(g.dims()[0], 6);
+  for (std::int64_t i = 0; i < modes[0]; ++i) {
+    EXPECT_EQ(g.owner_of({i}), static_cast<int>(i % 6));
+  }
+  for (int r = 0; r < g.size(); ++r) {
+    EXPECT_EQ(g.rank_coord(r), (std::vector<int>{r}));
   }
 }
 

@@ -115,7 +115,12 @@ TEST(Planner, DiagnosticsPopulated) {
   EXPECT_EQ(plan.paths_total, 3);       // count_paths(3)
   EXPECT_EQ(plan.paths_executable, 2);  // (T*C)*B and (B*C)*T
   EXPECT_GE(plan.paths_searched, 1);
+  // The group search must report how many searched paths were feasible —
+  // the chosen plan implies at least one — and its DP effort.
+  EXPECT_GE(plan.paths_feasible, 1);
+  EXPECT_LE(plan.paths_feasible, plan.paths_searched);
   EXPECT_GT(plan.dp_subproblems, 0);
+  EXPECT_GT(plan.dp_evaluations, 0);
   const std::string desc = plan.describe(inst->bound.kernel);
   EXPECT_NE(desc.find("kernel:"), std::string::npos);
   EXPECT_NE(desc.find("for"), std::string::npos);
