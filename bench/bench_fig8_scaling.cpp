@@ -7,6 +7,9 @@
 // (see src/dist/comm_model.hpp and EXPERIMENTS.md for constants).
 #include "dist/dist_spttn.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "bench_common.hpp"
 #include "util/cli.hpp"
 
@@ -15,15 +18,65 @@ using namespace spttn::bench;
 
 namespace {
 
+// Shared-memory strong scaling on the work-partitioned executor: one
+// process, the root loop chunked by subtree nnz over the persistent thread
+// pool. Correctness is checked every row against the 1-thread result.
+void thread_scaling_table(const std::string& title, const Problem& p,
+                          const std::vector<int>& threads, int reps) {
+  const Plan plan = plan_kernel(p.bound);
+  FusedExecutor exec(p.kernel(), plan);
+  Table table(title);
+  table.set_header({"threads", "parts", "time[s]", "speedup", "efficiency",
+                    "imbalance", "max|diff|"});
+  Output base = Output::make(p);
+  Output out = Output::make(p);
+  double t1 = 0;
+  for (int nt : threads) {
+    ExecArgs args;
+    args.sparse = &p.bound.csf;
+    args.dense = p.bound.dense;
+    args.out_dense = out.sparse_vals.empty() ? &out.dense : nullptr;
+    args.out_sparse = out.sparse_vals;
+    args.num_threads = nt;
+    ExecStats stats;
+    args.stats = &stats;
+    const double secs = time_median([&] { exec.execute(args); }, reps);
+    double diff = 0;
+    if (nt == threads.front()) {
+      t1 = secs;
+      if (out.sparse_vals.empty()) {
+        base.dense = out.dense;
+      } else {
+        base.sparse_vals = out.sparse_vals;
+      }
+    } else if (out.sparse_vals.empty()) {
+      diff = out.dense.max_abs_diff(base.dense);
+    } else {
+      for (std::size_t e = 0; e < out.sparse_vals.size(); ++e) {
+        diff = std::max(diff,
+                        std::abs(out.sparse_vals[e] - base.sparse_vals[e]));
+      }
+    }
+    table.add_row({std::to_string(nt), std::to_string(stats.threads_used),
+                   strfmt("%.4f", secs), strfmt("%.2fx", t1 / secs),
+                   strfmt("%.0f%%", 100.0 * t1 / secs / nt),
+                   strfmt("%.2f", stats.partition_imbalance),
+                   strfmt("%.1e", diff)});
+  }
+  table.add_note("root loop chunked by subtree nnz; outputs must match the "
+                 "1-thread row to 1e-12");
+  table.print(std::cout);
+}
+
 void scaling_table(const std::string& title, const Problem& p,
-                   const std::vector<int>& ranks) {
+                   const std::vector<int>& ranks, int local_threads) {
   Table table(title);
   table.set_header({"ranks", "grid", "max-local[s]", "comm[s]", "total[s]",
                     "speedup", "efficiency", "imbalance"});
   double t1 = 0;
   for (int r : ranks) {
     DistSpttn dist(p.bound, r);
-    const DistResult res = dist.run({}, nullptr, {});
+    const DistResult res = dist.run({}, nullptr, {}, local_threads);
     if (r == ranks.front()) t1 = res.time();
     table.add_row({std::to_string(r), res.grid.describe(),
                    strfmt("%.4f", res.max_local_seconds),
@@ -49,11 +102,18 @@ int main(int argc, char** argv) {
   const auto* sparsity =
       cli.add_double("sparsity", 0.001, "nnz fraction (paper: 0.1%)");
   const auto* max_ranks = cli.add_int("max-ranks", 64, "largest rank count");
+  const auto* max_threads = cli.add_int(
+      "threads", 8, "largest shared-memory thread count (0 = skip)");
+  const auto* local_threads = cli.add_int(
+      "local-threads", 1, "pool lanes per simulated rank (hybrid mode)");
+  const auto* reps = cli.add_int("reps", 3, "timing repetitions per row");
   const auto* seed = cli.add_int("seed", 7, "generator seed");
   cli.parse(argc, argv);
 
   std::vector<int> ranks;
   for (int r = 1; r <= *max_ranks; r *= 2) ranks.push_back(r);
+  std::vector<int> threads;
+  for (int t = 1; t <= *max_threads; t *= 2) threads.push_back(t);
 
   Rng rng(static_cast<std::uint64_t>(*seed));
   const auto nnz3 = static_cast<std::int64_t>(
@@ -72,7 +132,7 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks);
+                  *p, ranks, *local_threads);
   }
   {
     CooTensor t = random_coo({*n4, *n4, *n4, *n4}, nnz4, rng);
@@ -82,7 +142,16 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n4),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks);
+                  *p, ranks, *local_threads);
+    if (!threads.empty() && threads.back() > 1) {
+      thread_scaling_table(
+          strfmt("Figure 8(b') — MTTKRP shared-memory thread scaling, "
+                 "order-4 N=%lld nnz=%lld R=%lld",
+                 static_cast<long long>(*n4),
+                 static_cast<long long>(p->sparse.nnz()),
+                 static_cast<long long>(*rank)),
+          *p, threads, *reps);
+    }
   }
   {
     CooTensor t = random_coo({*n3, *n3, *n3}, nnz3, rng);
@@ -92,7 +161,16 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks);
+                  *p, ranks, *local_threads);
+    if (!threads.empty() && threads.back() > 1) {
+      thread_scaling_table(
+          strfmt("Figure 8(c') — TTTP shared-memory thread scaling, "
+                 "order-3 N=%lld nnz=%lld R=%lld",
+                 static_cast<long long>(*n3),
+                 static_cast<long long>(p->sparse.nnz()),
+                 static_cast<long long>(*rank)),
+          *p, threads, *reps);
+    }
   }
   return 0;
 }

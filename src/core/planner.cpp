@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spttn {
 
@@ -61,22 +62,45 @@ namespace {
 /// Run the DP across one FLOP group; fills `plan` when a feasible nest with
 /// the best group cost is found. `stats` receives the group's search
 /// statistics (the caller accumulates them into the Plan diagnostics).
+///
+/// Paths are independent subproblems, so the DP invocations fan out over
+/// the process-wide thread pool; the merge below walks results in path
+/// order, making the chosen plan and the accumulated statistics identical
+/// to a sequential search regardless of lane count.
 bool search_group(const Kernel& kernel,
                   const std::vector<const ContractionPath*>& group,
                   const TreeCost& cost, const PlannerOptions& options,
                   SearchStats* stats, Plan* plan) {
   DpOptions dp_options;
   dp_options.restrict_csf_order = options.restrict_csf_order;
+
+  std::vector<DpResult> results(group.size());
+  const auto run_one = [&](std::int64_t i) {
+    results[static_cast<std::size_t>(i)] = optimal_order(
+        kernel, *group[static_cast<std::size_t>(i)], cost, dp_options);
+  };
+  if (options.search_threads == 1 || group.size() < 2) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      run_one(static_cast<std::int64_t>(i));
+    }
+  } else {
+    // The persistent process pool serves every group; spawning a pool per
+    // group (make_plan calls search_group once per group per relaxation
+    // pass) would cost more than small DPs themselves.
+    ThreadPool::global().parallel_apply(
+        static_cast<std::int64_t>(group.size()), run_one);
+  }
+
   bool found = false;
-  for (const ContractionPath* path : group) {
-    const DpResult r = optimal_order(kernel, *path, cost, dp_options);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const DpResult& r = results[i];
     stats->paths_searched += 1;
     stats->dp_subproblems += r.subproblems;
     stats->dp_evaluations += r.evaluations;
     if (!r.feasible) continue;
     stats->paths_feasible += 1;
     if (!found || r.best_cost < plan->cost) {
-      plan->path = *path;
+      plan->path = *group[i];
       plan->order = r.best;
       plan->cost = r.best_cost;
       found = true;

@@ -43,6 +43,13 @@ struct PlannerOptions {
   bool sparse_aware_cache = true;
   /// Safety cap on DP invocations across path groups (0 = unlimited).
   int max_paths_searched = 256;
+  /// Group-search parallelism: independent contraction paths run through
+  /// the order DP concurrently on the process-wide ThreadPool. Results are
+  /// merged in path order, so the chosen Plan and the SearchStats are
+  /// identical to a sequential search regardless of this setting.
+  /// 1 = sequential; any other value fans out on the pool (whose lane
+  /// count, set by hardware or SPTTN_THREADS, is the concurrency bound).
+  int search_threads = 0;
 };
 
 /// Statistics of one DP search over a group of contraction paths.

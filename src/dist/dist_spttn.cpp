@@ -34,7 +34,8 @@ DistSpttn::DistSpttn(const BoundKernel& bound, int ranks, CommParams params)
 
 DistResult DistSpttn::run(const PlannerOptions& options,
                           DenseTensor* dense_out,
-                          std::span<double> sparse_out) const {
+                          std::span<double> sparse_out,
+                          int local_threads) const {
   const Kernel& kernel = bound_->kernel;
   const bool sparse_output = kernel.output_is_sparse();
 
@@ -64,6 +65,7 @@ DistResult DistSpttn::run(const PlannerOptions& options,
     ExecArgs args;
     args.sparse = &csf;
     args.dense = bound_->dense;
+    args.num_threads = local_threads;
     if (sparse_output) {
       local_vals.assign(static_cast<std::size_t>(local.nnz()), 0.0);
       args.out_sparse = local_vals;

@@ -54,8 +54,11 @@ class DistSpttn {
   /// `dense_out` (may be null to discard, e.g. for scaling benches); for
   /// sparse-output kernels the merged per-nonzero values go to `sparse_out`
   /// in global (sorted-COO) entry order (may be empty to discard).
+  /// `local_threads` > 1 runs each rank's local loop nest through the
+  /// process-wide thread pool (hybrid MPI+threads, paper Section 5.2's
+  /// 64-rank-per-node setup maps ranks*threads onto one machine here).
   DistResult run(const PlannerOptions& options, DenseTensor* dense_out,
-                 std::span<double> sparse_out) const;
+                 std::span<double> sparse_out, int local_threads = 1) const;
 
  private:
   const BoundKernel* bound_;

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
-#include <thread>
+#include <utility>
 
 #include "exec/kernels.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spttn {
 
@@ -64,32 +65,63 @@ struct FusedExecutor::Impl {
 
   bool collapse_dense = true;
 
+  // --- Parallel-execution metadata (analyze_parallel, at compile time) ---
+
+  /// Parallelizability of one top-level action.
+  struct TopMeta {
+    bool par_safe = false;         ///< loop may be partitioned across workers
+    bool writes_out_dense = false; ///< some term under it writes the output
+    bool writes_out_sparse = false;
+    /// Every dense-output write under the loop is strided by the loop's own
+    /// index, so partitions write disjoint slices and no reduction is
+    /// needed (the common case: MTTKRP rows, TTMc slices).
+    bool out_dense_rooted = true;
+  };
+  std::vector<TopMeta> top_meta;  // aligned with `top`
+  /// Buffers that carry values across top-level actions (or are written in
+  /// a non-parallelizable position); they live in storage shared by all
+  /// workers. Non-shared buffers are private per worker runtime.
+  std::vector<char> buffer_shared;
+
   /// Mutable per-execution (and per-thread) state. The compiled program
   /// above is immutable during execution, so parallel workers share it and
   /// own one Runtime each.
   struct Runtime {
     std::vector<std::int64_t> idx_val;
     std::vector<std::int64_t> csf_node;
-    std::vector<std::vector<double>> buffers;  // per producing term
+    std::vector<std::vector<double>> owned;  // storage for private buffers
+    std::vector<double*> buffers;            // per producing term
     const CsfTensor* csf = nullptr;
     std::vector<const double*> dense_data;
     double* out_dense_data = nullptr;
     double* out_sparse_data = nullptr;
   };
 
-  Runtime make_runtime() const {
+  /// Build a runtime. Buffers marked shared alias `shared` storage (one
+  /// allocation all workers see, writes disjoint by construction); the rest
+  /// are private zero-initialized copies. Pass null to own everything
+  /// (sequential execution).
+  Runtime make_runtime(std::vector<std::vector<double>>* shared) const {
     Runtime rt;
     rt.idx_val.assign(static_cast<std::size_t>(kernel.num_indices()), 0);
     rt.csf_node.assign(static_cast<std::size_t>(kernel.sparse_ref().order()),
                        0);
-    rt.buffers.resize(buffer_len.size());
+    rt.owned.resize(buffer_len.size());
+    rt.buffers.assign(buffer_len.size(), nullptr);
     for (std::size_t b = 0; b < buffer_len.size(); ++b) {
-      rt.buffers[b].assign(static_cast<std::size_t>(buffer_len[b]), 0.0);
+      if (buffer_len[b] == 0) continue;
+      if (shared != nullptr && buffer_shared[b]) {
+        rt.buffers[b] = (*shared)[b].data();
+      } else {
+        rt.owned[b].assign(static_cast<std::size_t>(buffer_len[b]), 0.0);
+        rt.buffers[b] = rt.owned[b].data();
+      }
     }
     return rt;
   }
 
   void compile(const LoopOrder& order);
+  void analyze_parallel();
   CAccess make_access(const PathOperand& op,
                       const std::vector<int>& inner_chain);
   CAccess make_out_access(int term_id, const std::vector<int>& inner_chain);
@@ -101,8 +133,12 @@ struct FusedExecutor::Impl {
                     const std::vector<int>& inner_chain, CAccess* access);
 
   void run_actions(Runtime& rt, const std::vector<CActionRef>& body) const;
+  void run_action(Runtime& rt, const CActionRef& a) const;
   void run_loop(Runtime& rt, const CLoop& loop, std::int64_t begin,
                 std::int64_t end) const;
+  void execute_parallel(Runtime& rt, const ExecArgs& args, int want_threads,
+                        std::vector<std::vector<double>>& shared_bufs,
+                        ExecStats* stats) const;
   void run_term(Runtime& rt, const CTerm& t) const;
   void run_inner(const CTerm& t, std::size_t level, const double* lhs,
                  const double* rhs, double* out) const;
@@ -119,6 +155,7 @@ FusedExecutor::FusedExecutor(const Kernel& kernel,
   impl_->collapse_dense = collapse_dense;
   impl_->tree = LoopTree::build(kernel, path, order);
   impl_->compile(order);
+  impl_->analyze_parallel();
 }
 
 FusedExecutor::~FusedExecutor() = default;
@@ -259,8 +296,8 @@ void FusedExecutor::Impl::compile(const LoopOrder& order) {
   };
 
   const auto compile_body = [&](auto&& self,
-                                const std::vector<LoopTree::Action>& body)
-      -> std::vector<CActionRef> {
+                                const std::vector<LoopTree::Action>& body,
+                                bool top_level) -> std::vector<CActionRef> {
     std::vector<CActionRef> out;
     for (const auto& a : body) {
       switch (a.kind) {
@@ -272,9 +309,14 @@ void FusedExecutor::Impl::compile(const LoopOrder& order) {
           out.push_back({CActionRef::Kind::kReset, a.id});
           break;
         case LoopTree::Action::Kind::kLoop: {
+          // Root loops are kept explicit even when their whole subtree is a
+          // collapsible dense chain: they are the unit of work partitioning
+          // (their bodies still collapse, so sequential execution loses only
+          // the outermost strided level).
           std::vector<int> chain;
-          const int term_id =
-              collapse_dense ? try_collapse(a.id, &chain) : -1;
+          const int term_id = (collapse_dense && !top_level)
+                                  ? try_collapse(a.id, &chain)
+                                  : -1;
           if (term_id >= 0) {
             out.push_back(
                 {CActionRef::Kind::kTerm, make_term(term_id, chain)});
@@ -287,7 +329,7 @@ void FusedExecutor::Impl::compile(const LoopOrder& order) {
           loop.sparse = n.sparse;
           loop.csf_level = n.csf_level;
           loop.extent = kernel.index_dim(n.index);
-          loop.body = self(self, n.body);
+          loop.body = self(self, n.body, false);
           loops.push_back(std::move(loop));
           out.push_back(
               {CActionRef::Kind::kLoop, static_cast<int>(loops.size()) - 1});
@@ -297,7 +339,102 @@ void FusedExecutor::Impl::compile(const LoopOrder& order) {
     }
     return out;
   };
-  top = compile_body(compile_body, tree.top());
+  top = compile_body(compile_body, tree.top(), true);
+}
+
+void FusedExecutor::Impl::analyze_parallel() {
+  const std::size_t nb = buffer_len.size();
+  // Where each buffer's producer term, consumer term and reset action sit in
+  // the top-level action sequence (-1 = not found, e.g. unused slots).
+  std::vector<int> producer_top(nb, -1);
+  std::vector<int> consumer_top(nb, -1);
+  std::vector<int> reset_top(nb, -1);
+  top_meta.assign(top.size(), {});
+
+  const auto walk = [&](auto&& self, const CActionRef& a, int t) -> void {
+    TopMeta& meta = top_meta[static_cast<std::size_t>(t)];
+    switch (a.kind) {
+      case CActionRef::Kind::kReset:
+        reset_top[static_cast<std::size_t>(a.id)] = t;
+        break;
+      case CActionRef::Kind::kTerm: {
+        const CTerm& ct = terms[static_cast<std::size_t>(a.id)];
+        if (ct.out.base == Base::kBuffer) {
+          producer_top[static_cast<std::size_t>(ct.out.id)] = t;
+        }
+        if (ct.out.base == Base::kOutDense) {
+          meta.writes_out_dense = true;
+          if (top[static_cast<std::size_t>(t)].kind ==
+              CActionRef::Kind::kLoop) {
+            const CLoop& root = loops[static_cast<std::size_t>(
+                top[static_cast<std::size_t>(t)].id)];
+            const bool rooted = std::any_of(
+                ct.out.outer.begin(), ct.out.outer.end(),
+                [&](const auto& p) { return p.first == root.index; });
+            if (!rooted) meta.out_dense_rooted = false;
+          }
+        }
+        if (ct.out.base == Base::kOutSparse) meta.writes_out_sparse = true;
+        for (const CAccess* side : {&ct.lhs, &ct.rhs}) {
+          if (side->base == Base::kBuffer) {
+            consumer_top[static_cast<std::size_t>(side->id)] = t;
+          }
+        }
+        break;
+      }
+      case CActionRef::Kind::kLoop:
+        for (const CActionRef& child :
+             loops[static_cast<std::size_t>(a.id)].body) {
+          self(self, child, t);
+        }
+        break;
+    }
+  };
+  for (std::size_t t = 0; t < top.size(); ++t) {
+    walk(walk, top[t], static_cast<int>(t));
+  }
+
+  // A buffer is worker-private only when its whole lifetime (reset, write,
+  // read) sits under one top-level loop; the reset scope encodes whether
+  // values carry across root iterations (LoopTree places it at the deepest
+  // common ancestor of producer and consumer).
+  buffer_shared.assign(nb, 1);
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (buffer_len[b] == 0) continue;
+    const int t = producer_top[b];
+    const bool local = t >= 0 &&
+                       top[static_cast<std::size_t>(t)].kind ==
+                           CActionRef::Kind::kLoop &&
+                       consumer_top[b] == t && reset_top[b] == t;
+    buffer_shared[b] = local ? 0 : 1;
+  }
+
+  // A root loop partitions safely when (a) a sparse root starts at CSF
+  // level 0 and (b) every shared buffer it writes is strided by the root
+  // index, so partitions touch disjoint slices. Shared buffers it only
+  // reads were fully produced by an earlier top-level action (barrier).
+  for (std::size_t t = 0; t < top.size(); ++t) {
+    if (top[t].kind != CActionRef::Kind::kLoop) continue;
+    const CLoop& root = loops[static_cast<std::size_t>(top[t].id)];
+    bool safe = !root.sparse || root.csf_level == 0;
+    for (std::size_t b = 0; b < nb && safe; ++b) {
+      if (buffer_len[b] == 0 || !buffer_shared[b]) continue;
+      // A reset inside a partitioned loop would zero a shared buffer from
+      // every worker; the buffer-locality rule above makes this imply a
+      // cross-root carry, which cannot be partitioned.
+      if (reset_top[b] == static_cast<int>(t)) {
+        safe = false;
+        break;
+      }
+      if (producer_top[b] != static_cast<int>(t)) continue;
+      const BufferSpec& spec = tree.buffers()[b];
+      const bool rooted =
+          std::find(spec.indices.begin(), spec.indices.end(), root.index) !=
+          spec.indices.end();
+      if (!rooted) safe = false;
+    }
+    top_meta[t].par_safe = safe;
+  }
 }
 
 const double* FusedExecutor::Impl::resolve(const Runtime& rt,
@@ -308,7 +445,7 @@ const double* FusedExecutor::Impl::resolve(const Runtime& rt,
       base = rt.dense_data[static_cast<std::size_t>(a.id)];
       break;
     case Base::kBuffer:
-      base = rt.buffers[static_cast<std::size_t>(a.id)].data();
+      base = rt.buffers[static_cast<std::size_t>(a.id)];
       break;
     case Base::kSparseVal:
       return rt.csf->vals().data() + rt.csf_node.back();
@@ -386,41 +523,42 @@ void FusedExecutor::Impl::run_loop(Runtime& rt, const CLoop& loop,
   }
 }
 
-void FusedExecutor::Impl::run_actions(
-    Runtime& rt, const std::vector<CActionRef>& body) const {
-  for (const CActionRef& a : body) {
-    switch (a.kind) {
-      case CActionRef::Kind::kTerm:
-        run_term(rt, terms[static_cast<std::size_t>(a.id)]);
-        break;
-      case CActionRef::Kind::kReset: {
-        auto& buf = rt.buffers[static_cast<std::size_t>(a.id)];
-        xzero(buffer_len[static_cast<std::size_t>(a.id)], buf.data(), 1);
-        break;
-      }
-      case CActionRef::Kind::kLoop: {
-        const CLoop& loop = loops[static_cast<std::size_t>(a.id)];
-        std::int64_t begin = 0;
-        std::int64_t end = 0;
-        if (loop.sparse) {
-          const int lvl = loop.csf_level;
-          if (lvl == 0) {
-            end = rt.csf->num_nodes(0);
-          } else {
-            const auto ptr = rt.csf->level_ptr(lvl - 1);
-            const std::int64_t parent =
-                rt.csf_node[static_cast<std::size_t>(lvl - 1)];
-            begin = ptr[static_cast<std::size_t>(parent)];
-            end = ptr[static_cast<std::size_t>(parent + 1)];
-          }
+void FusedExecutor::Impl::run_action(Runtime& rt, const CActionRef& a) const {
+  switch (a.kind) {
+    case CActionRef::Kind::kTerm:
+      run_term(rt, terms[static_cast<std::size_t>(a.id)]);
+      break;
+    case CActionRef::Kind::kReset:
+      xzero(buffer_len[static_cast<std::size_t>(a.id)],
+            rt.buffers[static_cast<std::size_t>(a.id)], 1);
+      break;
+    case CActionRef::Kind::kLoop: {
+      const CLoop& loop = loops[static_cast<std::size_t>(a.id)];
+      std::int64_t begin = 0;
+      std::int64_t end = 0;
+      if (loop.sparse) {
+        const int lvl = loop.csf_level;
+        if (lvl == 0) {
+          end = rt.csf->num_nodes(0);
         } else {
-          end = loop.extent;
+          const auto ptr = rt.csf->level_ptr(lvl - 1);
+          const std::int64_t parent =
+              rt.csf_node[static_cast<std::size_t>(lvl - 1)];
+          begin = ptr[static_cast<std::size_t>(parent)];
+          end = ptr[static_cast<std::size_t>(parent + 1)];
         }
-        run_loop(rt, loop, begin, end);
-        break;
+      } else {
+        end = loop.extent;
       }
+      run_loop(rt, loop, begin, end);
+      break;
     }
   }
+}
+
+void FusedExecutor::Impl::run_actions(
+    Runtime& rt, const std::vector<CActionRef>& body) const {
+  for (const CActionRef& a : body) run_action(rt, a);
 }
 
 void FusedExecutor::execute(const ExecArgs& args) {
@@ -440,7 +578,21 @@ void FusedExecutor::execute(const ExecArgs& args) {
   }
   SPTTN_CHECK_MSG(static_cast<int>(args.dense.size()) == k.num_inputs(),
                   "expected one dense slot per kernel input");
-  Impl::Runtime rt = im.make_runtime();
+  const int want_threads = std::max(1, args.num_threads);
+  // Shared storage for buffers carrying values across top-level actions;
+  // workers alias it (their writes are disjoint by the safety analysis).
+  std::vector<std::vector<double>> shared_bufs;
+  if (want_threads > 1) {
+    shared_bufs.resize(im.buffer_len.size());
+    for (std::size_t b = 0; b < im.buffer_len.size(); ++b) {
+      if (im.buffer_len[b] > 0 && im.buffer_shared[b]) {
+        shared_bufs[b].assign(static_cast<std::size_t>(im.buffer_len[b]),
+                              0.0);
+      }
+    }
+  }
+  Impl::Runtime rt =
+      im.make_runtime(want_threads > 1 ? &shared_bufs : nullptr);
   rt.dense_data.assign(args.dense.size(), nullptr);
   for (int i = 0; i < k.num_inputs(); ++i) {
     if (i == k.sparse_input()) continue;
@@ -484,57 +636,191 @@ void FusedExecutor::execute(const ExecArgs& args) {
 
   rt.csf = &csf;
 
-  // --- Parallel path: split the single root loop across worker threads.
-  // Each worker owns a Runtime (private buffers); sparse-output writes are
-  // disjoint per root subtree; dense outputs accumulate into per-thread
-  // partials summed after the join. Falls back to sequential execution for
-  // multi-root forests (buffers may cross root trees there).
-  const int want_threads = std::max(1, args.num_threads);
-  const bool parallelizable =
-      want_threads > 1 && im.top.size() == 1 &&
-      im.top[0].kind == CActionRef::Kind::kLoop;
-  if (parallelizable) {
-    const CLoop& root = im.loops[static_cast<std::size_t>(im.top[0].id)];
-    SPTTN_CHECK_MSG(!root.sparse || root.csf_level == 0,
-                    "root CSF loop must be level 0");
-    const std::int64_t extent =
-        root.sparse ? csf.num_nodes(0) : root.extent;
-    const int threads =
-        static_cast<int>(std::min<std::int64_t>(want_threads, extent));
-    if (threads > 1) {
-      const std::int64_t out_len =
-          k.output_is_sparse() ? 0 : args.out_dense->size();
-      std::vector<std::vector<double>> partials(
-          static_cast<std::size_t>(threads));
-      std::vector<std::thread> workers;
-      workers.reserve(static_cast<std::size_t>(threads));
-      for (int w = 0; w < threads; ++w) {
-        const std::int64_t begin = extent * w / threads;
-        const std::int64_t end = extent * (w + 1) / threads;
-        workers.emplace_back([&, w, begin, end] {
-          Impl::Runtime wrt = im.make_runtime();
-          wrt.dense_data = rt.dense_data;
-          wrt.csf = rt.csf;
-          wrt.out_sparse_data = rt.out_sparse_data;
-          if (out_len > 0) {
-            partials[static_cast<std::size_t>(w)]
-                .assign(static_cast<std::size_t>(out_len), 0.0);
-            wrt.out_dense_data = partials[static_cast<std::size_t>(w)].data();
-          }
-          im.run_loop(wrt, root, begin, end);
-        });
-      }
-      for (auto& worker : workers) worker.join();
-      if (out_len > 0) {
-        for (const auto& partial : partials) {
-          xaxpy(out_len, 1.0, partial.data(), 1, rt.out_dense_data, 1);
-        }
-      }
-      return;
-    }
+  if (want_threads > 1) {
+    im.execute_parallel(rt, args, want_threads, shared_bufs, args.stats);
+    return;
   }
-
   im.run_actions(rt, im.top);
+  if (args.stats != nullptr) *args.stats = ExecStats{};
+}
+
+namespace {
+
+/// Nonzero-balanced partition of a sparse root loop: `leaf_begin[i]` is the
+/// first leaf (nonzero) under root node i, so chunk boundaries chosen on it
+/// equalize work, not index ranges. Returns non-empty [begin, end) node
+/// ranges; at most `parts` of them.
+std::vector<std::pair<std::int64_t, std::int64_t>> partition_by_nnz(
+    const std::vector<std::int64_t>& leaf_begin, int parts) {
+  const auto extent = static_cast<std::int64_t>(leaf_begin.size()) - 1;
+  const std::int64_t total = leaf_begin.back();
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  std::int64_t begin = 0;
+  for (int c = 1; c <= parts && begin < extent; ++c) {
+    std::int64_t end;
+    if (c == parts) {
+      end = extent;
+    } else {
+      const std::int64_t target = total * c / parts;
+      end = std::lower_bound(leaf_begin.begin(), leaf_begin.end(), target) -
+            leaf_begin.begin();
+      end = std::clamp(end, begin, extent);
+    }
+    if (end > begin) chunks.emplace_back(begin, end);
+    begin = end;
+  }
+  return chunks;
+}
+
+/// Deterministic pairwise tree reduction: partials combine in a shape fixed
+/// by the partition count, so results are bit-identical run to run.
+void tree_reduce(ThreadPool& pool, std::vector<std::vector<double>>& parts,
+                 std::int64_t len, double* dst) {
+  const auto n = static_cast<std::int64_t>(parts.size());
+  for (std::int64_t stride = 1; stride < n; stride *= 2) {
+    const std::int64_t pairs = (n - stride + 2 * stride - 1) / (2 * stride);
+    pool.parallel_apply(pairs, [&](std::int64_t p) {
+      const std::int64_t i = p * 2 * stride;
+      if (i + stride < n) {
+        xaxpy(len, 1.0, parts[static_cast<std::size_t>(i + stride)].data(),
+              1, parts[static_cast<std::size_t>(i)].data(), 1);
+      }
+    });
+  }
+  if (n > 0) xaxpy(len, 1.0, parts[0].data(), 1, dst, 1);
+}
+
+}  // namespace
+
+/// Parallel interpretation of the compiled program: top-level actions run
+/// in order (each parallel_apply is a barrier), and every safe root loop is
+/// partitioned across the process-wide pool — by subtree nonzero count for
+/// sparse roots, evenly for dense roots. Outputs write directly when
+/// partitions are disjoint in the root index, otherwise into per-partition
+/// partials combined by a deterministic tree reduction.
+void FusedExecutor::Impl::execute_parallel(
+    Runtime& rt, const ExecArgs& args, int want_threads,
+    std::vector<std::vector<double>>& shared_bufs, ExecStats* stats) const {
+  ThreadPool& pool = ThreadPool::global();
+  ExecStats st;
+  st.threads_requested = want_threads;
+  const CsfTensor& csf = *rt.csf;
+  const std::int64_t dense_out_len =
+      rt.out_dense_data != nullptr && args.out_dense != nullptr
+          ? args.out_dense->size()
+          : 0;
+  const std::int64_t sparse_out_len =
+      rt.out_sparse_data != nullptr ? csf.nnz() : 0;
+
+  for (std::size_t t = 0; t < top.size(); ++t) {
+    const CActionRef& a = top[t];
+    const TopMeta& meta = top_meta[t];
+    if (a.kind != CActionRef::Kind::kLoop) {
+      run_action(rt, a);  // scalar terms and shared-buffer resets
+      continue;
+    }
+    const CLoop& root = loops[static_cast<std::size_t>(a.id)];
+    if (!meta.par_safe) {
+      ++st.fallback_regions;
+      run_action(rt, a);
+      continue;
+    }
+
+    // Every chunk pays a Runtime (private-buffer allocation), and chunks
+    // beyond the pool's lanes only help by smoothing nnz imbalance, so cap
+    // disjoint-write regions at a few chunks per lane. Regions whose
+    // output needs per-partition partials also pay a full output copy per
+    // chunk and are capped at the lane count itself.
+    const bool needs_partials =
+        (meta.writes_out_dense && !meta.out_dense_rooted) ||
+        (meta.writes_out_sparse && !root.sparse);
+    const int parts_budget = std::min(
+        want_threads, needs_partials ? pool.size() : 4 * pool.size());
+
+    // Partition the root iteration space.
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    double imbalance = 1.0;
+    if (root.sparse) {
+      const std::int64_t extent = csf.num_nodes(0);
+      std::vector<std::int64_t> leaf_begin(
+          static_cast<std::size_t>(extent) + 1);
+      for (std::int64_t i = 0; i <= extent; ++i) leaf_begin[i] = i;
+      for (int lvl = 0; lvl + 1 < csf.order(); ++lvl) {
+        const auto ptr = csf.level_ptr(lvl);
+        for (auto& b : leaf_begin) b = ptr[static_cast<std::size_t>(b)];
+      }
+      chunks = partition_by_nnz(leaf_begin, parts_budget);
+      if (chunks.size() > 1) {
+        std::int64_t max_nnz = 0;
+        for (const auto& [b, e] : chunks) {
+          max_nnz = std::max(max_nnz, leaf_begin[e] - leaf_begin[b]);
+        }
+        imbalance = static_cast<double>(max_nnz) *
+                    static_cast<double>(chunks.size()) /
+                    static_cast<double>(leaf_begin.back());
+      }
+    } else {
+      const std::int64_t extent = root.extent;
+      const auto parts = std::min<std::int64_t>(parts_budget, extent);
+      for (std::int64_t c = 0; c < parts; ++c) {
+        const std::int64_t b = extent * c / parts;
+        const std::int64_t e = extent * (c + 1) / parts;
+        if (e > b) chunks.emplace_back(b, e);
+      }
+    }
+    if (chunks.size() < 2) {
+      run_action(rt, a);
+      continue;
+    }
+
+    // Output routing. Sparse-rooted partitions own disjoint leaf ranges, so
+    // pattern-aligned outputs always write directly; dense outputs write
+    // directly only when strided by the root index.
+    const bool dense_direct = !meta.writes_out_dense || meta.out_dense_rooted;
+    const bool sparse_direct = !meta.writes_out_sparse || root.sparse;
+    const auto n_chunks = static_cast<std::int64_t>(chunks.size());
+    std::vector<std::vector<double>> dense_partial;
+    std::vector<std::vector<double>> sparse_partial;
+    if (!dense_direct) {
+      dense_partial.assign(static_cast<std::size_t>(n_chunks), {});
+    }
+    if (!sparse_direct) {
+      sparse_partial.assign(static_cast<std::size_t>(n_chunks), {});
+    }
+
+    pool.parallel_apply(n_chunks, [&](std::int64_t c) {
+      Runtime wrt = make_runtime(&shared_bufs);
+      wrt.dense_data = rt.dense_data;
+      wrt.csf = rt.csf;
+      wrt.out_dense_data = rt.out_dense_data;
+      wrt.out_sparse_data = rt.out_sparse_data;
+      if (!dense_direct) {
+        auto& p = dense_partial[static_cast<std::size_t>(c)];
+        p.assign(static_cast<std::size_t>(dense_out_len), 0.0);
+        wrt.out_dense_data = p.data();
+      }
+      if (!sparse_direct) {
+        auto& p = sparse_partial[static_cast<std::size_t>(c)];
+        p.assign(static_cast<std::size_t>(sparse_out_len), 0.0);
+        wrt.out_sparse_data = p.data();
+      }
+      const auto& [begin, end] = chunks[static_cast<std::size_t>(c)];
+      run_loop(wrt, root, begin, end);
+    });
+
+    if (!dense_direct) {
+      tree_reduce(pool, dense_partial, dense_out_len, rt.out_dense_data);
+    }
+    if (!sparse_direct) {
+      tree_reduce(pool, sparse_partial, sparse_out_len, rt.out_sparse_data);
+    }
+
+    ++st.parallel_regions;
+    st.threads_used =
+        std::max(st.threads_used, static_cast<int>(n_chunks));
+    st.partition_imbalance = std::max(st.partition_imbalance, imbalance);
+  }
+  if (stats != nullptr) *stats = st;
 }
 
 std::string FusedExecutor::describe(const Kernel& kernel) const {

@@ -23,6 +23,27 @@
 
 namespace spttn {
 
+/// Per-execution diagnostics, filled when ExecArgs.stats is set. The
+/// runtime never falls back silently: when num_threads > 1 the outcome of
+/// every root loop (parallelized or not, and why not) is observable here.
+struct ExecStats {
+  int threads_requested = 1;
+  /// Widest work partitioning of any root-loop region (chunk count; 1 when
+  /// everything executed sequentially). Saturates at the root extent.
+  /// Actual concurrency is additionally bounded by the process pool's lane
+  /// count — regions needing per-partition output partials are capped at
+  /// that; disjoint-write regions may carry more chunks than lanes.
+  int threads_used = 1;
+  /// Top-level loops executed through the thread pool (>= 2 partitions).
+  int parallel_regions = 0;
+  /// Top-level loops that requested threads but could not be partitioned
+  /// safely (e.g. a cross-root buffer not indexed by the root loop).
+  int fallback_regions = 0;
+  /// Max over parallel sparse-root regions of (largest chunk nnz) / (mean
+  /// chunk nnz); 1.0 when balanced, dense-rooted, or sequential.
+  double partition_imbalance = 1.0;
+};
+
 /// Tensor bindings for one execution.
 struct ExecArgs {
   /// CSF of the sparse operand; its mode order must match the order of the
@@ -37,10 +58,16 @@ struct ExecArgs {
   std::span<double> out_sparse;
   /// Accumulate into the output instead of zeroing it first.
   bool accumulate = false;
-  /// Worker threads for the root loop (shared-memory parallelism; each
-  /// worker owns private intermediates, dense outputs are tree-reduced).
-  /// 1 = sequential. Falls back to sequential for multi-root loop forests.
+  /// Lanes of parallelism for the root loop(s), served by the process-wide
+  /// ThreadPool. Sparse root loops are partitioned by subtree nonzero count
+  /// (not equal index ranges); dense root loops split evenly; multi-root
+  /// forests parallelize each root loop with a barrier between roots.
+  /// Workers own private intermediates; cross-root buffers stay shared with
+  /// disjoint writes; dense outputs either write disjoint slices directly
+  /// or are tree-reduced deterministically. 1 = sequential.
   int num_threads = 1;
+  /// Optional out-param receiving per-execution diagnostics.
+  ExecStats* stats = nullptr;
 };
 
 /// Executes one fully-fused loop nest for an SpTTN kernel.

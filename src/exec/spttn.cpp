@@ -57,13 +57,15 @@ Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options) {
 }
 
 void run_plan(const BoundKernel& bound, const Plan& plan,
-              DenseTensor* out_dense, std::span<double> out_sparse) {
+              DenseTensor* out_dense, std::span<double> out_sparse,
+              int num_threads) {
   FusedExecutor exec(bound.kernel, plan);
   ExecArgs args;
   args.sparse = &bound.csf;
   args.dense = bound.dense;
   args.out_dense = out_dense;
   args.out_sparse = out_sparse;
+  args.num_threads = num_threads;
   exec.execute(args);
 }
 

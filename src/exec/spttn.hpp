@@ -42,9 +42,11 @@ BoundKernel bind(const std::string& expr, const CooTensor& sparse,
 Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options = {});
 
 /// Execute a plan. Exactly one of out_dense/out_sparse applies, depending
-/// on the kernel's output sparsity.
+/// on the kernel's output sparsity. `num_threads` > 1 partitions the root
+/// loop(s) over the process-wide thread pool (see ExecArgs::num_threads).
 void run_plan(const BoundKernel& bound, const Plan& plan,
-              DenseTensor* out_dense, std::span<double> out_sparse);
+              DenseTensor* out_dense, std::span<double> out_sparse,
+              int num_threads = 1);
 
 /// Allocate a correctly shaped dense output for the bound kernel.
 DenseTensor make_output(const BoundKernel& bound);

@@ -1,0 +1,154 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spttn {
+
+namespace {
+
+/// Set while a thread is executing tasks of some batch; reentrant
+/// parallel_apply calls detect it and run inline (a worker blocking on its
+/// own pool would deadlock).
+thread_local bool tl_in_pool_task = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One submitted batch. Workers operate on a shared_ptr snapshot, so a
+  /// worker that wakes late claims from its (drained) batch instead of
+  /// stealing indices from a newer one.
+  struct Batch {
+    std::uint64_t generation = 0;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t count = 0;
+    std::atomic<std::int64_t> next{0};
+    std::int64_t finished = 0;        // guarded by Impl::m
+    std::exception_ptr first_error;   // guarded by Impl::m
+  };
+
+  std::mutex m;
+  std::condition_variable wake_cv;
+  std::condition_variable done_cv;
+  std::shared_ptr<Batch> current;  // guarded by m
+  std::uint64_t generation = 0;    // guarded by m
+  bool stopping = false;           // guarded by m
+
+  /// Serializes submitters so one batch runs at a time.
+  std::mutex submit_m;
+
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lk(m);
+        wake_cv.wait(lk, [&] {
+          return stopping || (current != nullptr && current->generation != seen);
+        });
+        if (stopping) return;
+        batch = current;
+        seen = batch->generation;
+      }
+      run_tasks(*batch);
+    }
+  }
+
+  /// Claim and run indices until the batch drains. The total of successful
+  /// claims equals count, so `finished` reaches count only after every task
+  /// body has returned — which is what the submitter waits on.
+  void run_tasks(Batch& batch) {
+    std::int64_t ran = 0;
+    std::exception_ptr err;
+    tl_in_pool_task = true;
+    const std::int64_t n = batch.count;
+    for (std::int64_t i = batch.next.fetch_add(1); i < n;
+         i = batch.next.fetch_add(1)) {
+      try {
+        (*batch.fn)(i);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+      ++ran;
+    }
+    tl_in_pool_task = false;
+    if (ran == 0 && !err) return;
+    std::lock_guard<std::mutex> lk(m);
+    if (err && !batch.first_error) batch.first_error = err;
+    batch.finished += ran;
+    if (batch.finished == n) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  const int lanes = threads < 1 ? 1 : threads;
+  impl_->workers.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int w = 0; w < lanes - 1; ++w) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->stopping = true;
+  }
+  impl_->wake_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+int ThreadPool::size() const {
+  return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::parallel_apply(std::int64_t n,
+                                const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || impl_->workers.empty() || tl_in_pool_task) {
+    // Inline: single task, no workers to share with, or a reentrant call
+    // from inside one of this pool's tasks.
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit(impl_->submit_m);
+  auto batch = std::make_shared<Impl::Batch>();
+  batch->fn = &fn;
+  batch->count = n;
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    batch->generation = ++impl_->generation;
+    impl_->current = batch;
+  }
+  impl_->wake_cv.notify_all();
+  impl_->run_tasks(*batch);
+  std::unique_lock<std::mutex> lk(impl_->m);
+  impl_->done_cv.wait(lk, [&] { return batch->finished == n; });
+  impl_->current = nullptr;
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+int ThreadPool::default_threads() {
+  static const int n = [] {
+    if (const char* env = std::getenv("SPTTN_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return n;
+}
+
+}  // namespace spttn

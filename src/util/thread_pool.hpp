@@ -1,0 +1,57 @@
+// Persistent shared-memory thread pool — the parallel substrate for the
+// executor's root-loop partitioning, the planner's group search, and the
+// simulated distributed runtime's per-rank local runs.
+//
+// One pool is created per instance; ThreadPool::global() holds a lazily
+// constructed process-wide pool sized to the hardware. Work is submitted as
+// an indexed batch (parallel_apply): the calling thread participates, so a
+// pool of size 1 degenerates to an inline loop with zero synchronization.
+// Batches from nested or concurrent callers are safe: a worker that calls
+// parallel_apply recursively runs its batch inline instead of deadlocking
+// on its own pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace spttn {
+
+class ThreadPool {
+ public:
+  /// Create a pool presenting `threads` lanes of parallelism (the calling
+  /// thread counts as one lane, so `threads - 1` workers are spawned).
+  /// threads < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes of parallelism (worker threads + the caller).
+  int size() const;
+
+  /// Run fn(0) ... fn(n-1), distributing indices across the pool's lanes;
+  /// the calling thread participates and the call returns only when every
+  /// index has finished. Indices are claimed dynamically (atomic counter),
+  /// so uneven tasks load-balance. The first exception thrown by any task
+  /// is rethrown in the caller after the batch drains. Reentrant calls
+  /// (from inside a task) run inline in the calling worker.
+  void parallel_apply(std::int64_t n,
+                      const std::function<void(std::int64_t)>& fn);
+
+  /// Process-wide pool, created on first use with default_threads() lanes.
+  /// Persistent for the process lifetime: benches and repeated executions
+  /// reuse the same workers instead of respawning threads per call.
+  static ThreadPool& global();
+
+  /// Hardware concurrency, overridable via the SPTTN_THREADS environment
+  /// variable (read once); at least 1.
+  static int default_threads();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace spttn

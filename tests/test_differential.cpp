@@ -1,0 +1,208 @@
+// Randomized differential harness: the fused executor (sequential and
+// work-partitioned parallel) must agree with the exact COO reference and
+// the TACO-style unfactorized executor on randomly generated einsum
+// kernels. Kernels vary sparse order, dense factor count/shape, output
+// kind (dense or pattern-aligned sparse) and sparsity; generation is
+// seeded, so failures reproduce bit-for-bit from the attempt number.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "exec/reference.hpp"
+#include "exec/spttn.hpp"
+#include "exec/unfactorized.hpp"
+#include "tensor/generate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+namespace {
+
+constexpr int kKernelsRequired = 50;
+constexpr int kMaxAttempts = 400;
+constexpr double kTol = 1e-10;
+
+struct RandomProblem {
+  std::string expr;
+  CooTensor sparse;
+  std::vector<DenseTensor> factors;
+};
+
+/// Draw a random kernel expression plus matching tensors. The sparse
+/// operand T comes first; dense factors pick distinct indices from the
+/// sparse modes plus a few dense-only indices; the output uses only
+/// indices some input binds (a parse requirement).
+RandomProblem make_random_problem(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomProblem p;
+
+  const std::string sparse_names = "ijkl";
+  const std::string extra_names = "rstu";
+  const int sparse_order = static_cast<int>(rng.next_in(2, 4));
+  std::vector<std::int64_t> sdims;
+  for (int m = 0; m < sparse_order; ++m) sdims.push_back(rng.next_in(3, 9));
+
+  const int n_extra = static_cast<int>(rng.next_in(0, 3));
+  std::vector<std::string> pool;
+  std::vector<std::int64_t> pool_dims;
+  for (int m = 0; m < sparse_order; ++m) {
+    pool.emplace_back(1, sparse_names[static_cast<std::size_t>(m)]);
+    pool_dims.push_back(sdims[static_cast<std::size_t>(m)]);
+  }
+  for (int e = 0; e < n_extra; ++e) {
+    pool.emplace_back(1, extra_names[static_cast<std::size_t>(e)]);
+    pool_dims.push_back(rng.next_in(2, 6));
+  }
+
+  const int n_dense = static_cast<int>(rng.next_in(1, 3));
+  std::vector<std::vector<int>> factor_idx(
+      static_cast<std::size_t>(n_dense));
+  std::vector<bool> used(pool.size(), false);
+  for (int m = 0; m < sparse_order; ++m) used[static_cast<std::size_t>(m)] =
+      true;
+  for (auto& idx : factor_idx) {
+    const int order = static_cast<int>(
+        rng.next_in(1, std::min<std::int64_t>(3,
+                        static_cast<std::int64_t>(pool.size()))));
+    std::vector<int> all(pool.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+    rng.shuffle(all);
+    idx.assign(all.begin(), all.begin() + order);
+    for (int id : idx) used[static_cast<std::size_t>(id)] = true;
+  }
+
+  std::vector<int> usable;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (used[i]) usable.push_back(static_cast<int>(i));
+  }
+
+  const auto render = [&](const std::string& name,
+                          const std::vector<int>& idx) {
+    std::string s = name + "(";
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      if (i) s += ",";
+      s += pool[static_cast<std::size_t>(idx[i])];
+    }
+    return s + ")";
+  };
+
+  std::string out;
+  if (rng.next_double() < 0.25) {
+    // Pattern-aligned sparse output (TTTP-style): exactly T's indices.
+    std::vector<int> sidx;
+    for (int m = 0; m < sparse_order; ++m) sidx.push_back(m);
+    out = render("S", sidx);
+  } else {
+    std::vector<int> choice = usable;
+    rng.shuffle(choice);
+    const int order = static_cast<int>(
+        rng.next_in(1, std::min<std::int64_t>(
+                           3, static_cast<std::int64_t>(choice.size()))));
+    choice.resize(static_cast<std::size_t>(order));
+    out = render("O", choice);
+  }
+
+  std::vector<int> sparse_idx;
+  for (int m = 0; m < sparse_order; ++m) sparse_idx.push_back(m);
+  p.expr = out + " = " + render("T", sparse_idx);
+  const std::string dense_names = "ABC";
+  for (int f = 0; f < n_dense; ++f) {
+    p.expr += " * " + render(std::string(1, dense_names[
+                                 static_cast<std::size_t>(f)]),
+                             factor_idx[static_cast<std::size_t>(f)]);
+  }
+
+  double space = 1;
+  for (auto d : sdims) space *= static_cast<double>(d);
+  const double frac = 0.01 + 0.3 * rng.next_double();
+  std::int64_t nnz_target =
+      1 + static_cast<std::int64_t>(space * frac);
+  if (rng.next_double() < 0.1) nnz_target = rng.next_in(1, 3);  // tiny
+  p.sparse = random_coo(sdims, nnz_target, rng);
+
+  for (const auto& idx : factor_idx) {
+    std::vector<std::int64_t> dims;
+    for (int id : idx) dims.push_back(pool_dims[static_cast<std::size_t>(id)]);
+    p.factors.push_back(random_dense(dims, rng));
+  }
+  return p;
+}
+
+TEST(Differential, FusedMatchesReferenceAndUnfactorized) {
+  int checked = 0;
+  int skipped = 0;
+  for (int attempt = 0; attempt < kMaxAttempts && checked < kKernelsRequired;
+       ++attempt) {
+    const RandomProblem p =
+        make_random_problem(0xD1FFE000ull + static_cast<std::uint64_t>(
+                                                attempt));
+    std::vector<const DenseTensor*> ptrs;
+    for (const auto& f : p.factors) ptrs.push_back(&f);
+
+    BoundKernel bound;
+    Plan plan;
+    try {
+      bound = bind(p.expr, p.sparse, ptrs);
+      plan = plan_kernel(bound);
+    } catch (const Error&) {
+      ++skipped;  // kernel admits no single-CSF executable path
+      continue;
+    }
+    SCOPED_TRACE("attempt " + std::to_string(attempt) + ": " + p.expr);
+    const Kernel& kernel = bound.kernel;
+    FusedExecutor exec(kernel, plan);
+    ExecArgs args;
+    args.sparse = &bound.csf;
+    args.dense = bound.dense;
+
+    if (kernel.output_is_sparse()) {
+      const auto nnz = static_cast<std::size_t>(bound.csf.nnz());
+      std::vector<double> ref(nnz, 0.0);
+      std::vector<double> unf(nnz, 0.0);
+      std::vector<double> fused(nnz, 0.0);
+      std::vector<double> fused_par(nnz, 0.0);
+      reference_execute(kernel, p.sparse, bound.dense, nullptr, ref);
+      UnfactorizedExecutor taco(kernel);
+      taco.execute(bound.csf, bound.dense, nullptr, unf);
+      args.out_sparse = fused;
+      exec.execute(args);
+      args.out_sparse = fused_par;
+      args.num_threads = 3;
+      exec.execute(args);
+      for (std::size_t e = 0; e < nnz; ++e) {
+        ASSERT_NEAR(fused[e], ref[e], kTol);
+        ASSERT_NEAR(unf[e], ref[e], kTol);
+        ASSERT_NEAR(fused_par[e], ref[e], kTol);
+      }
+    } else {
+      DenseTensor ref = make_output(bound);
+      DenseTensor unf = make_output(bound);
+      DenseTensor fused = make_output(bound);
+      DenseTensor fused_par = make_output(bound);
+      reference_execute(kernel, p.sparse, bound.dense, &ref, {});
+      UnfactorizedExecutor taco(kernel);
+      taco.execute(bound.csf, bound.dense, &unf, {});
+      args.out_dense = &fused;
+      exec.execute(args);
+      args.out_dense = &fused_par;
+      args.num_threads = 3;
+      exec.execute(args);
+      ASSERT_LT(fused.max_abs_diff(ref), kTol);
+      ASSERT_LT(unf.max_abs_diff(ref), kTol);
+      ASSERT_LT(fused_par.max_abs_diff(ref), kTol);
+    }
+    ++checked;
+  }
+  // The generator must actually produce enough executable kernels; if this
+  // trips, loosen the generator instead of lowering the bar.
+  EXPECT_EQ(checked, kKernelsRequired)
+      << "only " << checked << " executable kernels in " << kMaxAttempts
+      << " attempts (" << skipped << " skipped)";
+}
+
+}  // namespace
+}  // namespace spttn

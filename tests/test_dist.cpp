@@ -167,6 +167,36 @@ INSTANTIATE_TEST_SUITE_P(
              "_p" + std::to_string(std::get<1>(info.param));
     });
 
+// Hybrid rank x thread execution: each simulated rank's local nest runs on
+// the shared-memory pool; results must match the pure-rank run for both
+// output kinds (dense goes through per-rank accumulate, sparse through the
+// owner-local value merge).
+TEST(DistSpttn, HybridLocalThreadsMatchesSingleThreaded) {
+  for (int kernel_idx : {0, 4}) {  // mttkrp3 (dense out), tttp3 (sparse out)
+    const auto inst = testing::make_instance(
+        paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+        3333 + kernel_idx);
+    const Kernel& k = inst->bound.kernel;
+    DistSpttn dist(inst->bound, 3);
+    const PlannerOptions opts;
+    if (k.output_is_sparse()) {
+      std::vector<double> got(static_cast<std::size_t>(inst->sparse.nnz()));
+      std::vector<double> want(got.size());
+      dist.run(opts, nullptr, want, /*local_threads=*/1);
+      dist.run(opts, nullptr, got, /*local_threads=*/4);
+      for (std::size_t e = 0; e < got.size(); ++e) {
+        ASSERT_NEAR(got[e], want[e], 1e-12);
+      }
+    } else {
+      DenseTensor got = make_output(inst->bound);
+      DenseTensor want = make_output(inst->bound);
+      dist.run(opts, &want, {}, /*local_threads=*/1);
+      dist.run(opts, &got, {}, /*local_threads=*/4);
+      ASSERT_LT(want.max_abs_diff(got), 1e-12);
+    }
+  }
+}
+
 TEST(DistSpttn, PartitionCoversAllNonzeros) {
   const auto inst = testing::make_instance(paper_kernels()[0], 909);
   DistSpttn dist(inst->bound, 5);

@@ -83,13 +83,143 @@ TEST(Parallel, MoreThreadsThanRootsIsSafe) {
   args.dense = bound.dense;
   args.out_dense = &out;
   args.num_threads = 16;  // only 2 root nodes exist
+  ExecStats stats;
+  args.stats = &stats;
   exec.execute(args);
   EXPECT_GT(out.norm(), 0.0);
+  EXPECT_LE(stats.threads_used, 2);  // cannot split below root subtrees
+  EXPECT_EQ(stats.fallback_regions, 0);
 }
 
-TEST(Parallel, MultiRootForestFallsBackToSequential) {
-  // The unfused schedule has several root trees; threaded execution must
-  // still be correct (it silently runs sequentially).
+// Oversubscription sweep: thread counts far beyond the root extent (and
+// beyond the machine) must stay correct for every kernel family.
+TEST(Parallel, OversubscriptionSweep) {
+  for (int kernel_idx : {0, 2, 4}) {  // mttkrp3, ttmc3, tttp3
+    const auto inst = testing::make_instance(
+        paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+        6200 + kernel_idx);
+    const Kernel& kernel = inst->bound.kernel;
+    const Plan plan = plan_kernel(inst->bound);
+    FusedExecutor exec(kernel, plan);
+    ExecArgs args;
+    args.sparse = &inst->bound.csf;
+    args.dense = inst->bound.dense;
+
+    std::vector<double> seq_vals;
+    DenseTensor seq_out;
+    if (kernel.output_is_sparse()) {
+      seq_vals.assign(static_cast<std::size_t>(inst->sparse.nnz()), 0.0);
+      args.out_sparse = seq_vals;
+    } else {
+      seq_out = make_output(inst->bound);
+      args.out_dense = &seq_out;
+    }
+    exec.execute(args);
+
+    for (int threads : {7, 64, 1000}) {
+      SCOPED_TRACE(paper_kernels()[static_cast<std::size_t>(kernel_idx)]
+                       .name +
+                   " threads=" + std::to_string(threads));
+      args.num_threads = threads;
+      ExecStats stats;
+      args.stats = &stats;
+      if (kernel.output_is_sparse()) {
+        std::vector<double> par_vals(seq_vals.size(), 0.0);
+        args.out_sparse = par_vals;
+        exec.execute(args);
+        for (std::size_t e = 0; e < seq_vals.size(); ++e) {
+          ASSERT_NEAR(seq_vals[e], par_vals[e], 1e-12);
+        }
+        args.out_sparse = seq_vals;
+      } else {
+        DenseTensor par_out = make_output(inst->bound);
+        args.out_dense = &par_out;
+        exec.execute(args);
+        ASSERT_LT(seq_out.max_abs_diff(par_out), 1e-12);
+        args.out_dense = &seq_out;
+      }
+      EXPECT_GE(stats.parallel_regions, 1);
+      EXPECT_LE(stats.threads_used, threads);
+    }
+  }
+}
+
+// nnz = 0 and nnz = 1: partitioning degenerates gracefully (no chunks /
+// one chunk) at any thread count.
+TEST(Parallel, TinyAndEmptyTensors) {
+  for (std::int64_t nnz : {std::int64_t{0}, std::int64_t{1}}) {
+    CooTensor t({5, 4, 3});
+    if (nnz == 1) t.push_back({2, 1, 0}, 1.5);
+    t.sort_dedup();
+    Rng rng(2);
+    const DenseTensor b = random_dense({4, 3}, rng);
+    const DenseTensor c = random_dense({3, 3}, rng);
+    const BoundKernel bound =
+        bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+    const Plan plan = plan_kernel(bound);
+    FusedExecutor exec(bound.kernel, plan);
+    DenseTensor seq = make_output(bound);
+    ExecArgs args;
+    args.sparse = &bound.csf;
+    args.dense = bound.dense;
+    args.out_dense = &seq;
+    exec.execute(args);
+    for (int threads : {2, 8, 32}) {
+      SCOPED_TRACE("nnz=" + std::to_string(nnz) +
+                   " threads=" + std::to_string(threads));
+      DenseTensor par = make_output(bound);
+      args.out_dense = &par;
+      args.num_threads = threads;
+      ExecStats stats;
+      args.stats = &stats;
+      exec.execute(args);
+      EXPECT_LT(seq.max_abs_diff(par), 1e-15);
+      EXPECT_EQ(stats.fallback_regions, 0);
+      EXPECT_LE(stats.threads_used, 1);  // nothing to split
+    }
+    args.out_dense = &seq;
+    args.num_threads = 1;
+    args.stats = nullptr;
+  }
+}
+
+// accumulate = true across thread counts: out += result must land on the
+// sequential accumulation to 1e-12, and repeating the same thread count
+// must be bit-identical (deterministic partitioning and tree reduction).
+TEST(Parallel, AccumulateAcrossThreadCounts) {
+  const auto inst = testing::make_instance(paper_kernels()[0], 6300);
+  const Kernel& kernel = inst->bound.kernel;
+  const Plan plan = plan_kernel(inst->bound);
+  FusedExecutor exec(kernel, plan);
+  ExecArgs args;
+  args.sparse = &inst->bound.csf;
+  args.dense = inst->bound.dense;
+  args.accumulate = true;
+
+  const auto run_accumulating = [&](int threads) {
+    DenseTensor out = make_output(inst->bound);
+    out.zero();
+    args.out_dense = &out;
+    args.num_threads = threads;
+    exec.execute(args);
+    exec.execute(args);  // accumulate twice: out = 2 * kernel(T, ...)
+    return out;
+  };
+
+  const DenseTensor seq = run_accumulating(1);
+  for (int threads : {2, 3, 8, 19}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const DenseTensor par = run_accumulating(threads);
+    EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+    const DenseTensor again = run_accumulating(threads);
+    EXPECT_EQ(par.max_abs_diff(again), 0.0);  // bit-identical rerun
+  }
+}
+
+// The unfused pairwise schedule compiles to a multi-root loop forest. The
+// runtime must either partition those roots or say so in ExecStats — no
+// silent sequential fallback — and the result must match 1-thread output.
+TEST(Parallel, MultiRootForestParallelizesOrReports) {
   const auto inst = testing::make_instance(paper_kernels()[2], 6100);
   const Kernel& kernel = inst->bound.kernel;
   const auto [path, order] = unfused_pairwise_schedule(kernel);
@@ -103,8 +233,36 @@ TEST(Parallel, MultiRootForestFallsBackToSequential) {
   exec.execute(args);
   args.out_dense = &b;
   args.num_threads = 4;
+  ExecStats stats;
+  args.stats = &stats;
   exec.execute(args);
-  EXPECT_LT(a.max_abs_diff(b), 1e-9);
+  EXPECT_LT(a.max_abs_diff(b), 1e-12);
+  EXPECT_EQ(stats.threads_requested, 4);
+  // Observability contract: every root either parallelized or recorded.
+  EXPECT_GT(stats.parallel_regions + stats.fallback_regions, 0);
+  if (stats.fallback_regions == 0) {
+    EXPECT_GT(stats.threads_used, 1) << "forest claims parallel but used "
+                                        "one partition everywhere";
+  }
+}
+
+// Sequential runs must report stats too (threads_used == 1).
+TEST(Parallel, SequentialStatsAreObservable) {
+  const auto inst = testing::make_instance(paper_kernels()[0], 6400);
+  const Plan plan = plan_kernel(inst->bound);
+  FusedExecutor exec(inst->bound.kernel, plan);
+  DenseTensor out = make_output(inst->bound);
+  ExecArgs args;
+  args.sparse = &inst->bound.csf;
+  args.dense = inst->bound.dense;
+  args.out_dense = &out;
+  ExecStats stats;
+  stats.threads_used = 99;  // must be overwritten
+  args.stats = &stats;
+  exec.execute(args);
+  EXPECT_EQ(stats.threads_used, 1);
+  EXPECT_EQ(stats.threads_requested, 1);
+  EXPECT_EQ(stats.parallel_regions, 0);
 }
 
 }  // namespace

@@ -147,5 +147,46 @@ TEST(Planner, CostModelFactoryCoversAllKinds) {
   }
 }
 
+// The parallel group search must be a pure speedup: same chosen plan (path,
+// order, cost) and identical search statistics as the sequential search,
+// for every kernel family. DP results merge in path order, so this holds
+// by construction — the test pins the contract.
+struct PlannerSearchConcurrency : ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerSearchConcurrency, ParallelSearchMatchesSequential) {
+  const int kernel_idx = GetParam();
+  const auto inst = testing::make_instance(
+      paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+      7000 + kernel_idx);
+  PlannerOptions seq_opts;
+  seq_opts.search_threads = 1;
+  const Plan seq = plan_kernel(inst->bound, seq_opts);
+  for (int threads : {0, 4, 16}) {  // 0 = every pool lane
+    SCOPED_TRACE("search_threads=" + std::to_string(threads));
+    PlannerOptions par_opts;
+    par_opts.search_threads = threads;
+    const Plan par = plan_kernel(inst->bound, par_opts);
+    const Kernel& k = inst->bound.kernel;
+    EXPECT_EQ(par.path.to_string(k), seq.path.to_string(k));
+    EXPECT_EQ(order_to_string(k, par.order), order_to_string(k, seq.order));
+    EXPECT_TRUE(par.cost == seq.cost)
+        << par.cost.to_string() << " vs " << seq.cost.to_string();
+    EXPECT_EQ(par.flops, seq.flops);
+    EXPECT_EQ(par.buffer_dim_bound, seq.buffer_dim_bound);
+    EXPECT_EQ(par.paths_total, seq.paths_total);
+    EXPECT_EQ(par.paths_executable, seq.paths_executable);
+    EXPECT_EQ(par.paths_searched, seq.paths_searched);
+    EXPECT_EQ(par.paths_feasible, seq.paths_feasible);
+    EXPECT_EQ(par.dp_subproblems, seq.dp_subproblems);
+    EXPECT_EQ(par.dp_evaluations, seq.dp_evaluations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, PlannerSearchConcurrency, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return paper_kernels()[static_cast<std::size_t>(info.param)].name;
+    });
+
 }  // namespace
 }  // namespace spttn
