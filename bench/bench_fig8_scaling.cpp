@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace spttn;
 using namespace spttn::bench;
@@ -32,6 +33,11 @@ void thread_scaling_table(const std::string& title, const Problem& p,
   Output out = Output::make(p);
   double t1 = 0;
   for (int nt : threads) {
+    // Strong scaling measures "what if the machine ran nt lanes": size the
+    // pool to the row. Without this, on a host with fewer cores than the
+    // widest row the partials budget (clamped to the pool's lanes) would
+    // silently keep the nested split out of the parts column.
+    ThreadPool::set_global_threads(nt);
     ExecArgs args;
     args.sparse = &p.bound.csf;
     args.dense = p.bound.dense;
@@ -63,20 +69,53 @@ void thread_scaling_table(const std::string& title, const Problem& p,
                    strfmt("%.2f", stats.partition_imbalance),
                    strfmt("%.1e", diff)});
   }
-  table.add_note("root loop chunked by subtree nnz; outputs must match the "
-                 "1-thread row to 1e-12");
+  ThreadPool::set_global_threads(0);  // restore the default-sized pool
+  table.add_note("root loop chunked by subtree nnz (nested second-level "
+                 "split when small/skewed, stealing pool balances); outputs "
+                 "must match the 1-thread row to 1e-12");
   table.print(std::cout);
 }
 
+// Strong-scaling table over a skewed tensor: one root slice owns most of
+// the nonzeros, so the static nnz-balanced chunking alone would serialize.
+// The parts column shows the nested split carrying the region past the
+// root extent, and the imbalance column the executed partition's skew.
+void skew_scaling_table(const std::string& title,
+                        const std::vector<int>& threads, int rank,
+                        int reps, Rng& rng) {
+  const std::int64_t heavy_j = 2048;
+  const std::int64_t heavy_k = 256;
+  CooTensor t({64, heavy_j, heavy_k});
+  // ~95% of the nonzeros under root slice i=0; one nonzero elsewhere.
+  for (std::int64_t j = 0; j < heavy_j; ++j) {
+    for (std::int64_t k = 0; k < heavy_k; ++k) {
+      if ((j * 131 + k * 17) % 5 == 0) {
+        t.push_back({0, j, k}, rng.next_double() + 0.25);
+      }
+    }
+  }
+  for (std::int64_t i = 1; i < 64; ++i) {
+    t.push_back({i, i % heavy_j, i % heavy_k}, 1.0);
+  }
+  t.sort_dedup();
+  auto p = make_problem(mttkrp3_expr(), std::move(t),
+                        {{"r", static_cast<std::int64_t>(rank)}}, rng);
+  thread_scaling_table(title + strfmt(" nnz=%lld (~95%% in one root slice)",
+                                      static_cast<long long>(p->sparse.nnz())),
+                       *p, threads, reps);
+}
+
 void scaling_table(const std::string& title, const Problem& p,
-                   const std::vector<int>& ranks, int local_threads) {
+                   const std::vector<int>& ranks, int local_threads,
+                   bool concurrent_ranks) {
   Table table(title);
   table.set_header({"ranks", "grid", "max-local[s]", "comm[s]", "total[s]",
                     "speedup", "efficiency", "imbalance"});
   double t1 = 0;
   for (int r : ranks) {
     DistSpttn dist(p.bound, r);
-    const DistResult res = dist.run({}, nullptr, {}, local_threads);
+    const DistResult res =
+        dist.run({}, nullptr, {}, local_threads, concurrent_ranks);
     if (r == ranks.front()) t1 = res.time();
     table.add_row({std::to_string(r), res.grid.describe(),
                    strfmt("%.4f", res.max_local_seconds),
@@ -106,6 +145,13 @@ int main(int argc, char** argv) {
       "threads", 8, "largest shared-memory thread count (0 = skip)");
   const auto* local_threads = cli.add_int(
       "local-threads", 1, "pool lanes per simulated rank (hybrid mode)");
+  const auto* concurrent_ranks = cli.add_bool(
+      "concurrent-ranks", false,
+      "run simulated ranks concurrently on the pool (bit-identical "
+      "results, faster simulation; per-rank seconds then time-share "
+      "cores, so leave off for timing-faithful rows)");
+  const auto* skew = cli.add_bool(
+      "skew", true, "also run the skewed-root MTTKRP scaling table");
   const auto* reps = cli.add_int("reps", 3, "timing repetitions per row");
   const auto* seed = cli.add_int("seed", 7, "generator seed");
   cli.parse(argc, argv);
@@ -132,7 +178,7 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads);
+                  *p, ranks, *local_threads, *concurrent_ranks);
   }
   {
     CooTensor t = random_coo({*n4, *n4, *n4, *n4}, nnz4, rng);
@@ -142,7 +188,7 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n4),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads);
+                  *p, ranks, *local_threads, *concurrent_ranks);
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(b') — MTTKRP shared-memory thread scaling, "
@@ -161,7 +207,7 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads);
+                  *p, ranks, *local_threads, *concurrent_ranks);
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(c') — TTTP shared-memory thread scaling, "
@@ -171,6 +217,12 @@ int main(int argc, char** argv) {
                  static_cast<long long>(*rank)),
           *p, threads, *reps);
     }
+  }
+  if (*skew && !threads.empty() && threads.back() > 1) {
+    skew_scaling_table(
+        strfmt("Figure 8(d') — skewed-root MTTKRP thread scaling, R=%lld",
+               static_cast<long long>(*rank)),
+        threads, static_cast<int>(*rank), static_cast<int>(*reps), rng);
   }
   return 0;
 }

@@ -41,7 +41,10 @@ int main(int argc, char** argv) {
   double t1 = 0;
   for (int p = 1; p <= *max_ranks; p *= 2) {
     DistSpttn dist(bound, p);
-    const DistResult r = dist.run({}, nullptr, {});
+    // Sequential ranks: this table reads per-rank seconds, so don't let
+    // concurrently simulated ranks time-share the cores under the timer.
+    const DistResult r = dist.run({}, nullptr, {}, /*local_threads=*/1,
+                                  /*concurrent_ranks=*/false);
     if (p == 1) t1 = r.time();
     std::cout << strfmt("%5d  %-10s  %.5f   %.6f  %.5f   %5.2fx   %.2f\n", p,
                         r.grid.describe().c_str(), r.max_local_seconds,

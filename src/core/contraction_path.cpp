@@ -116,6 +116,40 @@ SparsityStats SparsityStats::uniform(const std::vector<std::int64_t>& dims,
   return s;
 }
 
+SparsityStats::SparsityStats(const SparsityStats& o)
+    : prefix_(o.prefix_), dims_(o.dims_), nnz_(o.nnz_), coo_(o.coo_) {
+  std::lock_guard<std::mutex> lk(o.proj_m_);
+  proj_cache_ = o.proj_cache_;
+}
+
+SparsityStats& SparsityStats::operator=(const SparsityStats& o) {
+  if (this == &o) return *this;
+  prefix_ = o.prefix_;
+  dims_ = o.dims_;
+  nnz_ = o.nnz_;
+  coo_ = o.coo_;
+  std::scoped_lock lk(proj_m_, o.proj_m_);
+  proj_cache_ = o.proj_cache_;
+  return *this;
+}
+
+SparsityStats::SparsityStats(SparsityStats&& o) noexcept
+    : prefix_(std::move(o.prefix_)),
+      dims_(std::move(o.dims_)),
+      nnz_(o.nnz_),
+      coo_(o.coo_),
+      proj_cache_(std::move(o.proj_cache_)) {}
+
+SparsityStats& SparsityStats::operator=(SparsityStats&& o) noexcept {
+  if (this == &o) return *this;
+  prefix_ = std::move(o.prefix_);
+  dims_ = std::move(o.dims_);
+  nnz_ = o.nnz_;
+  coo_ = o.coo_;
+  proj_cache_ = std::move(o.proj_cache_);
+  return *this;
+}
+
 std::int64_t SparsityStats::projection_nnz(std::uint64_t level_mask) const {
   const int d = order();
   // Prefix masks resolve from the precomputed table.
@@ -124,9 +158,15 @@ std::int64_t SparsityStats::projection_nnz(std::uint64_t level_mask) const {
   if (level_mask == (std::uint64_t{1} << prefix_len) - 1) {
     return prefix_nnz(prefix_len);
   }
-  for (const auto& [mask, count] : proj_cache_) {
-    if (mask == level_mask) return count;
+  {
+    std::lock_guard<std::mutex> lk(proj_m_);
+    for (const auto& [mask, count] : proj_cache_) {
+      if (mask == level_mask) return count;
+    }
   }
+  // Compute outside the lock: the COO projection scan is the expensive
+  // part, and two threads racing to compute the same mask produce the
+  // same value (the second insert below is dropped).
   std::int64_t count = 0;
   if (coo_ != nullptr) {
     std::vector<int> modes;
@@ -143,6 +183,10 @@ std::int64_t SparsityStats::projection_nnz(std::uint64_t level_mask) const {
     }
     count = std::min<std::int64_t>(
         nnz_, std::max<std::int64_t>(1, static_cast<std::int64_t>(space)));
+  }
+  std::lock_guard<std::mutex> lk(proj_m_);
+  for (const auto& [mask, cached] : proj_cache_) {
+    if (mask == level_mask) return cached;  // another caller beat us
   }
   proj_cache_.emplace_back(level_mask, count);
   return count;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,6 +72,12 @@ struct ContractionPath {
 class SparsityStats {
  public:
   SparsityStats() = default;
+  // The lazy projection cache carries a mutex, so the special members are
+  // spelled out (copies share the cached values but get a fresh lock).
+  SparsityStats(const SparsityStats& o);
+  SparsityStats& operator=(const SparsityStats& o);
+  SparsityStats(SparsityStats&& o) noexcept;
+  SparsityStats& operator=(SparsityStats&& o) noexcept;
 
   /// Exact statistics from a tensor (must be sort_dedup()ed).
   static SparsityStats from_coo(const CooTensor& coo);
@@ -86,6 +93,8 @@ class SparsityStats {
 
   /// Distinct-projection count for an arbitrary mode subset (bitmask over
   /// CSF levels). Exact when built from a tensor, modeled otherwise.
+  /// Thread-safe: concurrent callers (the planner's parallel path-FLOP
+  /// fan-out) share one mutex-guarded lazy cache.
   std::int64_t projection_nnz(std::uint64_t level_mask) const;
 
   int order() const { return static_cast<int>(prefix_.size()) - 1; }
@@ -95,6 +104,7 @@ class SparsityStats {
   std::vector<std::int64_t> dims_;
   std::int64_t nnz_ = 0;
   const CooTensor* coo_ = nullptr;  ///< non-owning; null for modeled stats
+  mutable std::mutex proj_m_;  ///< guards proj_cache_
   mutable std::vector<std::pair<std::uint64_t, std::int64_t>> proj_cache_;
 };
 

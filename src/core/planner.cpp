@@ -42,55 +42,97 @@ std::unique_ptr<TreeCost> make_cost_model(const PlannerOptions& options,
 
 std::vector<ContractionPath> executable_paths(const Kernel& kernel,
                                               const SparsityStats& stats,
-                                              int* total_paths) {
+                                              int* total_paths, int threads,
+                                              std::vector<double>* flops_out) {
   std::vector<ContractionPath> all = enumerate_paths(kernel);
   if (total_paths != nullptr) *total_paths = static_cast<int>(all.size());
-  std::vector<ContractionPath> exec;
-  for (auto& p : all) {
-    if (p.csf_prefix_executable(kernel)) exec.push_back(std::move(p));
+  // Executability and FLOP estimation are independent per path, so they
+  // fan out over the process pool; the gather below walks paths in
+  // enumeration order and the sort uses the precomputed keys, making the
+  // result identical to the sequential filter regardless of lane count.
+  std::vector<char> keep(all.size(), 0);
+  std::vector<double> flops(all.size(), 0.0);
+  const auto eval_one = [&](std::int64_t i) {
+    const auto u = static_cast<std::size_t>(i);
+    keep[u] = all[u].csf_prefix_executable(kernel) ? 1 : 0;
+    if (keep[u]) flops[u] = path_flops(kernel, all[u], stats);
+  };
+  if (threads == 1 || all.size() < 2) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      eval_one(static_cast<std::int64_t>(i));
+    }
+  } else {
+    ThreadPool::global().parallel_apply(
+        static_cast<std::int64_t>(all.size()), eval_one);
   }
-  std::stable_sort(exec.begin(), exec.end(),
-                   [&](const ContractionPath& a, const ContractionPath& b) {
-                     return path_flops(kernel, a, stats) <
-                            path_flops(kernel, b, stats);
+  std::vector<std::size_t> order;
+  order.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (keep[i]) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return flops[a] < flops[b];
                    });
+  std::vector<ContractionPath> exec;
+  exec.reserve(order.size());
+  if (flops_out != nullptr) {
+    flops_out->clear();
+    flops_out->reserve(order.size());
+  }
+  for (std::size_t i : order) {
+    exec.push_back(std::move(all[i]));
+    if (flops_out != nullptr) flops_out->push_back(flops[i]);
+  }
   return exec;
 }
 
 namespace {
 
-/// Run the DP across one FLOP group; fills `plan` when a feasible nest with
-/// the best group cost is found. `stats` receives the group's search
-/// statistics (the caller accumulates them into the Plan diagnostics).
-///
-/// Paths are independent subproblems, so the DP invocations fan out over
-/// the process-wide thread pool; the merge below walks results in path
-/// order, making the chosen plan and the accumulated statistics identical
-/// to a sequential search regardless of lane count.
-bool search_group(const Kernel& kernel,
-                  const std::vector<const ContractionPath*>& group,
-                  const TreeCost& cost, const PlannerOptions& options,
-                  SearchStats* stats, Plan* plan) {
+/// Run the order DP for every path of groups [g_begin, g_end) — one wave.
+/// (group, path) pairs are independent subproblems, so the whole wave
+/// flattens into a single fan-out over the process-wide pool; results land
+/// indexed by (group - g_begin, path), ready for the order-preserving
+/// merge.
+void run_wave(const Kernel& kernel,
+              const std::vector<std::vector<const ContractionPath*>>& groups,
+              std::size_t g_begin, std::size_t g_end,
+              const TreeCost& cost, const PlannerOptions& options,
+              std::vector<std::vector<DpResult>>* results) {
   DpOptions dp_options;
   dp_options.restrict_csf_order = options.restrict_csf_order;
-
-  std::vector<DpResult> results(group.size());
-  const auto run_one = [&](std::int64_t i) {
-    results[static_cast<std::size_t>(i)] = optimal_order(
-        kernel, *group[static_cast<std::size_t>(i)], cost, dp_options);
+  results->assign(g_end - g_begin, {});
+  std::vector<std::pair<std::size_t, std::size_t>> flat;
+  for (std::size_t g = g_begin; g < g_end; ++g) {
+    (*results)[g - g_begin].resize(groups[g].size());
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      flat.emplace_back(g, i);
+    }
+  }
+  const auto run_one = [&](std::int64_t f) {
+    const auto [g, i] = flat[static_cast<std::size_t>(f)];
+    (*results)[g - g_begin][i] =
+        optimal_order(kernel, *groups[g][i], cost, dp_options);
   };
-  if (options.search_threads == 1 || group.size() < 2) {
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      run_one(static_cast<std::int64_t>(i));
+  if (options.search_threads == 1 || flat.size() < 2) {
+    for (std::size_t f = 0; f < flat.size(); ++f) {
+      run_one(static_cast<std::int64_t>(f));
     }
   } else {
-    // The persistent process pool serves every group; spawning a pool per
-    // group (make_plan calls search_group once per group per relaxation
-    // pass) would cost more than small DPs themselves.
+    // The persistent process pool serves every wave; spawning a pool per
+    // wave (make_plan runs one wave per relaxation pass at minimum) would
+    // cost more than the small DPs themselves.
     ThreadPool::global().parallel_apply(
-        static_cast<std::int64_t>(group.size()), run_one);
+        static_cast<std::int64_t>(flat.size()), run_one);
   }
+}
 
+/// Merge one group's DP results in path order; fills `plan` when a
+/// feasible nest with the best group cost is found and accumulates the
+/// group's search statistics. Identical to a sequential scan of the group.
+bool merge_group(const std::vector<const ContractionPath*>& group,
+                 const std::vector<DpResult>& results, SearchStats* stats,
+                 Plan* plan) {
   bool found = false;
   for (std::size_t i = 0; i < group.size(); ++i) {
     const DpResult& r = results[i];
@@ -117,8 +159,9 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
                   "bind index dimensions before planning");
   Plan plan;
   int total = 0;
-  const std::vector<ContractionPath> exec =
-      executable_paths(kernel, stats, &total);
+  std::vector<double> flops;  // per exec path, filled by executable_paths
+  const std::vector<ContractionPath> exec = executable_paths(
+      kernel, stats, &total, options.search_threads, &flops);
   plan.paths_total = total;
   plan.paths_executable = static_cast<int>(exec.size());
   SPTTN_CHECK_MSG(!exec.empty(),
@@ -126,10 +169,6 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
                       << kernel.to_string());
 
   // Group by FLOP estimate (paths within tolerance share a group).
-  std::vector<double> flops(exec.size());
-  for (std::size_t i = 0; i < exec.size(); ++i) {
-    flops[i] = path_flops(kernel, exec[i], stats);
-  }
   std::vector<std::vector<const ContractionPath*>> groups;
   std::vector<double> group_flops;
   for (std::size_t i = 0; i < exec.size(); ++i) {
@@ -147,6 +186,14 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
 
   // Paper Section 5: optimal-complexity group first, then fall back; when
   // even that fails and relaxation is allowed, loosen the buffer bound.
+  // Each relaxation pass scans groups in waves of geometrically growing
+  // size: a wave's DPs fan out over the pool together, then merge in
+  // group/path order, stopping at the first feasible group. Wave 1 holds
+  // only the optimal-complexity group, so the common case does exactly the
+  // sequential search's work; failure cases buy parallelism with bounded
+  // speculation (at most the winning wave's trailing groups, which the
+  // merge discards from the stats — plan and SearchStats stay identical to
+  // the sequential scan).
   PlannerOptions effective = options;
   const int max_bound = std::max(options.buffer_dim_bound,
                                  kernel.num_indices());
@@ -154,16 +201,30 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
   for (int bound = options.buffer_dim_bound; bound <= max_bound; ++bound) {
     effective.buffer_dim_bound = bound;
     const std::unique_ptr<TreeCost> cost = make_cost_model(effective, &stats);
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (search_group(kernel, groups[g], *cost, effective, &search, &plan)) {
-        plan.paths_searched = search.paths_searched;
-        plan.paths_feasible = search.paths_feasible;
-        plan.dp_subproblems = search.dp_subproblems;
-        plan.dp_evaluations = search.dp_evaluations;
-        plan.flops = path_flops(kernel, plan.path, stats);
-        plan.buffer_dim_bound = bound;
-        plan.tree = LoopTree::build(kernel, plan.path, plan.order);
-        return plan;
+    std::size_t g = 0;
+    std::size_t wave = 1;
+    while (g < groups.size()) {
+      const std::size_t wave_end = std::min(groups.size(), g + wave);
+      std::vector<std::vector<DpResult>> results;
+      run_wave(kernel, groups, g, wave_end, *cost, effective, &results);
+      for (std::size_t gg = g; gg < wave_end; ++gg) {
+        if (merge_group(groups[gg], results[gg - g], &search, &plan)) {
+          plan.paths_searched = search.paths_searched;
+          plan.paths_feasible = search.paths_feasible;
+          plan.dp_subproblems = search.dp_subproblems;
+          plan.dp_evaluations = search.dp_evaluations;
+          plan.flops = path_flops(kernel, plan.path, stats);
+          plan.buffer_dim_bound = bound;
+          plan.tree = LoopTree::build(kernel, plan.path, plan.order);
+          return plan;
+        }
+      }
+      g = wave_end;
+      // Speculative growth only pays when lanes exist to run the extra
+      // groups concurrently; a one-lane pool would run the speculation
+      // inline and can double the sequential search's DP work for nothing.
+      if (options.search_threads != 1 && ThreadPool::global().size() > 1) {
+        wave *= 2;
       }
     }
     if (!options.allow_bound_relaxation ||

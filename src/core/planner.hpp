@@ -43,10 +43,13 @@ struct PlannerOptions {
   bool sparse_aware_cache = true;
   /// Safety cap on DP invocations across path groups (0 = unlimited).
   int max_paths_searched = 256;
-  /// Group-search parallelism: independent contraction paths run through
-  /// the order DP concurrently on the process-wide ThreadPool. Results are
-  /// merged in path order, so the chosen Plan and the SearchStats are
-  /// identical to a sequential search regardless of this setting.
+  /// Search parallelism: the executable-path filter, the per-path FLOP
+  /// estimation, and the order DPs of each relaxation wave run
+  /// concurrently on the process-wide ThreadPool (waves of geometrically
+  /// growing group count; wave 1 is just the optimal-complexity group).
+  /// Results are merged in enumeration/group/path order and speculative
+  /// trailing groups are discarded, so the chosen Plan and the SearchStats
+  /// are identical to a sequential search regardless of this setting.
   /// 1 = sequential; any other value fans out on the pool (whose lane
   /// count, set by hardware or SPTTN_THREADS, is the concurrency bound).
   int search_threads = 0;
@@ -93,9 +96,15 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
                const PlannerOptions& options = {});
 
 /// All single-CSF-executable contraction paths sorted by estimated FLOPs
-/// (cheapest first). Exposed for benches and the autotuner.
-std::vector<ContractionPath> executable_paths(const Kernel& kernel,
-                                              const SparsityStats& stats,
-                                              int* total_paths = nullptr);
+/// (cheapest first). Exposed for benches and the autotuner. `threads`
+/// follows PlannerOptions::search_threads semantics (1 = sequential,
+/// anything else fans the per-path filter and FLOP estimates out over the
+/// process pool); the returned list is identical either way. `flops_out`,
+/// when non-null, receives each returned path's FLOP estimate (same
+/// order), saving callers that group by cost a second estimation sweep.
+std::vector<ContractionPath> executable_paths(
+    const Kernel& kernel, const SparsityStats& stats,
+    int* total_paths = nullptr, int threads = 1,
+    std::vector<double>* flops_out = nullptr);
 
 }  // namespace spttn

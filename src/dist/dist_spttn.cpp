@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "exec/executor.hpp"
+#include "exec/kernels.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace spttn {
@@ -35,7 +37,7 @@ DistSpttn::DistSpttn(const BoundKernel& bound, int ranks, CommParams params)
 DistResult DistSpttn::run(const PlannerOptions& options,
                           DenseTensor* dense_out,
                           std::span<double> sparse_out,
-                          int local_threads) const {
+                          int local_threads, bool concurrent_ranks) const {
   const Kernel& kernel = bound_->kernel;
   const bool sparse_output = kernel.output_is_sparse();
 
@@ -46,8 +48,6 @@ DistResult DistSpttn::run(const PlannerOptions& options,
 
   const Plan plan = plan_kernel(*bound_, options);
 
-  DenseTensor reduced;
-  if (!sparse_output) reduced = make_output(*bound_);
   if (sparse_output && !sparse_out.empty()) {
     SPTTN_CHECK_MSG(
         static_cast<std::int64_t>(sparse_out.size()) == bound_->coo->nnz(),
@@ -56,36 +56,85 @@ DistResult DistSpttn::run(const PlannerOptions& options,
     std::fill(sparse_out.begin(), sparse_out.end(), 0.0);
   }
 
-  std::vector<double> local_vals;
-  for (int r = 0; r < ranks_; ++r) {
-    const CooTensor& local = local_coo_[static_cast<std::size_t>(r)];
-    if (local.nnz() == 0) continue;
+  // SPMD compute: every rank executes the same nest on its local CSF into
+  // a rank-private partial (the value a real rank would hold before the
+  // closing collective), and partials fold into the reduced output in
+  // ascending rank order. The fold order — not the execution order — fixes
+  // every output bit, so the sequential rank loop (which reuses one
+  // scratch partial and folds as it goes, keeping peak memory at one
+  // output copy) and the concurrent fan-out (which holds one partial per
+  // rank until the merge) produce bit-identical results. Each rank's
+  // wall-clock is measured around its own local run either way (honest
+  // measurement; on an oversubscribed machine concurrent ranks time-share
+  // cores, so use concurrent_ranks = false for timing-faithful rows).
+  const bool concurrent = concurrent_ranks && ranks_ > 1;
+  DenseTensor reduced;
+  if (!sparse_output) reduced = make_output(*bound_);
+  std::vector<DenseTensor> rank_dense(
+      concurrent && !sparse_output ? static_cast<std::size_t>(ranks_) : 0);
+  const auto run_rank = [&](std::int64_t r, DenseTensor* dense_partial) {
+    const auto ur = static_cast<std::size_t>(r);
+    const CooTensor& local = local_coo_[ur];
+    if (local.nnz() == 0) return;
     const CsfTensor csf(local);
     FusedExecutor exec(kernel, plan);
     ExecArgs args;
     args.sparse = &csf;
     args.dense = bound_->dense;
     args.num_threads = local_threads;
+    std::vector<double> local_vals;  // this rank's sparse pattern values
     if (sparse_output) {
       local_vals.assign(static_cast<std::size_t>(local.nnz()), 0.0);
       args.out_sparse = local_vals;
     } else {
-      // Every rank's partial sums directly into the reduced output — the
-      // simulated analogue of the closing all-reduce.
-      args.out_dense = &reduced;
-      args.accumulate = true;
+      args.out_dense = dense_partial;
     }
     Timer t;
     exec.execute(args);
-    res.local_seconds[static_cast<std::size_t>(r)] = t.seconds();
+    res.local_seconds[ur] = t.seconds();
+    // Sparse outputs scatter straight to the owner entries — disjoint per
+    // rank (entry_map_ partitions the nonzeros), so the scatter is safe
+    // and bit-identical under concurrent ranks, and the rank-local buffer
+    // dies here instead of retaining O(global nnz) until a merge.
     if (sparse_output && !sparse_out.empty()) {
-      const auto& map = entry_map_[static_cast<std::size_t>(r)];
+      const auto& map = entry_map_[ur];
       for (std::size_t e = 0; e < local_vals.size(); ++e) {
         sparse_out[static_cast<std::size_t>(map[e])] = local_vals[e];
       }
     }
+  };
+  if (concurrent) {
+    ThreadPool::global().parallel_apply(ranks_, [&](std::int64_t r) {
+      DenseTensor* partial = nullptr;
+      if (!sparse_output &&
+          local_coo_[static_cast<std::size_t>(r)].nnz() > 0) {
+        rank_dense[static_cast<std::size_t>(r)] = make_output(*bound_);
+        partial = &rank_dense[static_cast<std::size_t>(r)];
+      }
+      run_rank(r, partial);
+    });
+    for (int r = 0; r < ranks_; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (sparse_output || local_coo_[ur].nnz() == 0) continue;
+      xaxpy(reduced.size(), 1.0, rank_dense[ur].data(), 1, reduced.data(),
+            1);
+    }
+  } else {
+    DenseTensor scratch;
+    if (!sparse_output) scratch = make_output(*bound_);
+    for (int r = 0; r < ranks_; ++r) {
+      if (local_coo_[static_cast<std::size_t>(r)].nnz() == 0) continue;
+      // The executor zeroes the scratch partial on entry (accumulate is
+      // off), so one allocation serves every rank.
+      run_rank(r, sparse_output ? nullptr : &scratch);
+      if (!sparse_output) {
+        xaxpy(reduced.size(), 1.0, scratch.data(), 1, reduced.data(), 1);
+      }
+    }
   }
-  if (!sparse_output && dense_out != nullptr) *dense_out = reduced;
+
+  const std::int64_t dense_out_size = sparse_output ? 0 : reduced.size();
+  if (!sparse_output && dense_out != nullptr) *dense_out = std::move(reduced);
 
   res.max_local_seconds =
       *std::max_element(res.local_seconds.begin(), res.local_seconds.end());
@@ -103,7 +152,7 @@ DistResult DistSpttn::run(const PlannerOptions& options,
     }
     if (!sparse_output) {
       const std::int64_t bytes =
-          reduced.size() * static_cast<std::int64_t>(sizeof(double));
+          dense_out_size * static_cast<std::int64_t>(sizeof(double));
       res.comm_bytes += bytes;
       res.comm_seconds += allreduce_seconds(bytes, ranks_, params_);
     }

@@ -76,8 +76,21 @@ struct FusedExecutor::Impl {
     /// index, so partitions write disjoint slices and no reduction is
     /// needed (the common case: MTTKRP rows, TTMc slices).
     bool out_dense_rooted = true;
+    /// The sole second-level loop (loops[] id) when the root body is
+    /// exactly one loop; -1 otherwise. Unit of the nested split.
+    int inner_loop = -1;
+    /// The root may be split across the second loop level: par_safe, a
+    /// single-loop body at a consistent CSF level, and no shared-buffer
+    /// writes under the root (two tasks sharing a root index would collide
+    /// on the root-strided slice).
+    bool nest_safe = false;
+    /// Every dense-output write under the loop is also strided by the
+    /// inner loop's index; together with out_dense_rooted this makes
+    /// nested tasks' output slices disjoint (direct writes, no partials).
+    bool out_dense_inner_rooted = true;
   };
   std::vector<TopMeta> top_meta;  // aligned with `top`
+  int num_root_regions = 0;       ///< top-level kLoop actions
   /// Buffers that carry values across top-level actions (or are written in
   /// a non-parallelizable position); they live in storage shared by all
   /// workers. Non-shared buffers are private per worker runtime.
@@ -413,8 +426,10 @@ void FusedExecutor::Impl::analyze_parallel() {
   // level 0 and (b) every shared buffer it writes is strided by the root
   // index, so partitions touch disjoint slices. Shared buffers it only
   // reads were fully produced by an earlier top-level action (barrier).
+  num_root_regions = 0;
   for (std::size_t t = 0; t < top.size(); ++t) {
     if (top[t].kind != CActionRef::Kind::kLoop) continue;
+    ++num_root_regions;
     const CLoop& root = loops[static_cast<std::size_t>(top[t].id)];
     bool safe = !root.sparse || root.csf_level == 0;
     for (std::size_t b = 0; b < nb && safe; ++b) {
@@ -434,6 +449,61 @@ void FusedExecutor::Impl::analyze_parallel() {
       if (!rooted) safe = false;
     }
     top_meta[t].par_safe = safe;
+
+    // Nested-split eligibility: the root body must be exactly one loop (so
+    // no sibling term, reset, or cross-iteration buffer carry sits between
+    // root iterations), at the CSF level directly below the root for
+    // sparse inners, with no shared-buffer writes under the root at all
+    // (root-strided slices are disjoint per root *index*, which nested
+    // tasks sharing a root index would violate).
+    int inner_id = -1;
+    if (root.body.size() == 1 &&
+        root.body.front().kind == CActionRef::Kind::kLoop) {
+      inner_id = root.body.front().id;
+    }
+    top_meta[t].inner_loop = inner_id;
+    bool nest = safe && inner_id >= 0;
+    if (nest) {
+      const CLoop& inner = loops[static_cast<std::size_t>(inner_id)];
+      if (inner.sparse) {
+        const int want_level = root.sparse ? root.csf_level + 1 : 0;
+        nest = inner.csf_level == want_level;
+      }
+      for (std::size_t b = 0; b < nb && nest; ++b) {
+        if (buffer_len[b] == 0 || !buffer_shared[b]) continue;
+        if (producer_top[b] == static_cast<int>(t)) nest = false;
+      }
+    }
+    top_meta[t].nest_safe = nest;
+    if (nest) {
+      // Dense-output stride check against the inner index: collect every
+      // term under this root and require the inner index among the output
+      // access's outer strides.
+      const CLoop& inner = loops[static_cast<std::size_t>(inner_id)];
+      const auto check = [&](auto&& self, const CActionRef& a) -> void {
+        switch (a.kind) {
+          case CActionRef::Kind::kTerm: {
+            const CTerm& ct = terms[static_cast<std::size_t>(a.id)];
+            if (ct.out.base == Base::kOutDense) {
+              const bool strided = std::any_of(
+                  ct.out.outer.begin(), ct.out.outer.end(),
+                  [&](const auto& p) { return p.first == inner.index; });
+              if (!strided) top_meta[t].out_dense_inner_rooted = false;
+            }
+            break;
+          }
+          case CActionRef::Kind::kLoop:
+            for (const CActionRef& child :
+                 loops[static_cast<std::size_t>(a.id)].body) {
+              self(self, child);
+            }
+            break;
+          case CActionRef::Kind::kReset:
+            break;
+        }
+      };
+      check(check, top[t]);
+    }
   }
 }
 
@@ -641,10 +711,34 @@ void FusedExecutor::execute(const ExecArgs& args) {
     return;
   }
   im.run_actions(rt, im.top);
-  if (args.stats != nullptr) *args.stats = ExecStats{};
+  if (args.stats != nullptr) {
+    // Report the sequential execution faithfully instead of clobbering the
+    // caller's struct with defaults: the resolved thread count and the
+    // region census make "ran sequentially" distinguishable from "stats
+    // never populated".
+    ExecStats st;
+    st.populated = true;
+    st.threads_requested = want_threads;
+    st.threads_used = 1;
+    st.total_regions = im.num_root_regions;
+    *args.stats = st;
+  }
 }
 
 namespace {
+
+/// One unit of parallel work within a root region: a contiguous range of
+/// root positions, optionally narrowed (for a single root position) to a
+/// sub-range of the second-level loop. `weight` is the estimated work
+/// (subtree nnz for sparse roots, proportional iteration count for dense
+/// roots), used for imbalance reporting only.
+struct ParTask {
+  std::int64_t root_begin = 0;
+  std::int64_t root_end = 0;
+  std::int64_t inner_begin = -1;  ///< >= 0: nested (root range is one position)
+  std::int64_t inner_end = -1;
+  std::int64_t weight = 0;
+};
 
 /// Nonzero-balanced partition of a sparse root loop: `leaf_begin[i]` is the
 /// first leaf (nonzero) under root node i, so chunk boundaries chosen on it
@@ -672,38 +766,61 @@ std::vector<std::pair<std::int64_t, std::int64_t>> partition_by_nnz(
   return chunks;
 }
 
-/// Deterministic pairwise tree reduction: partials combine in a shape fixed
-/// by the partition count, so results are bit-identical run to run.
-void tree_reduce(ThreadPool& pool, std::vector<std::vector<double>>& parts,
-                 std::int64_t len, double* dst) {
-  const auto n = static_cast<std::int64_t>(parts.size());
-  for (std::int64_t stride = 1; stride < n; stride *= 2) {
-    const std::int64_t pairs = (n - stride + 2 * stride - 1) / (2 * stride);
-    pool.parallel_apply(pairs, [&](std::int64_t p) {
-      const std::int64_t i = p * 2 * stride;
-      if (i + stride < n) {
-        xaxpy(len, 1.0, parts[static_cast<std::size_t>(i + stride)].data(),
-              1, parts[static_cast<std::size_t>(i)].data(), 1);
-      }
-    });
+/// First-leaf offsets for every node of a CSF level (plus an end sentinel):
+/// lb[i] is the first nonzero under node i at `level`, so lb[e] - lb[b]
+/// counts the nonzeros below node range [b, e).
+std::vector<std::int64_t> leaf_offsets(const CsfTensor& csf, int level) {
+  const std::int64_t n = csf.num_nodes(level);
+  std::vector<std::int64_t> lb(static_cast<std::size_t>(n) + 1);
+  for (std::int64_t i = 0; i <= n; ++i) lb[static_cast<std::size_t>(i)] = i;
+  for (int lvl = level; lvl + 1 < csf.order(); ++lvl) {
+    const auto ptr = csf.level_ptr(lvl);
+    for (auto& b : lb) b = ptr[static_cast<std::size_t>(b)];
   }
-  if (n > 0) xaxpy(len, 1.0, parts[0].data(), 1, dst, 1);
+  return lb;
+}
+
+/// Deterministic tiled reduction of per-task output partials: the output
+/// is cut into fixed-size tiles processed in parallel, and within a tile
+/// the partials fold into dst in task order. The float summation shape
+/// depends only on the partition shape (bit-identical run to run), while
+/// each lane's working set stays O(tile) — one pass over memory instead of
+/// the old pairwise tree's lg(P) full-length sweeps.
+void reduce_partials(ThreadPool& pool,
+                     std::vector<std::vector<double>>& parts,
+                     std::int64_t len, double* dst) {
+  if (parts.empty() || len <= 0) return;
+  constexpr std::int64_t kTile = 4096;
+  const std::int64_t tiles = (len + kTile - 1) / kTile;
+  pool.parallel_apply(tiles, [&](std::int64_t tile) {
+    const std::int64_t b = tile * kTile;
+    const std::int64_t e = std::min(len, b + kTile);
+    for (auto& p : parts) {
+      xaxpy(e - b, 1.0, p.data() + b, 1, dst + b, 1);
+    }
+  });
 }
 
 }  // namespace
 
 /// Parallel interpretation of the compiled program: top-level actions run
 /// in order (each parallel_apply is a barrier), and every safe root loop is
-/// partitioned across the process-wide pool — by subtree nonzero count for
-/// sparse roots, evenly for dense roots. Outputs write directly when
-/// partitions are disjoint in the root index, otherwise into per-partition
-/// partials combined by a deterministic tree reduction.
+/// partitioned across the process-wide work-stealing pool — by subtree
+/// nonzero count for sparse roots, evenly for dense roots. A region whose
+/// root partition is too coarse (extent below the lane budget) or too
+/// skewed (one subtree owning most of the work) is re-partitioned with a
+/// nested split: heavy root positions break into sub-ranges of the second
+/// loop level. Outputs write directly when tasks are disjoint in the
+/// partitioned indices, otherwise into per-task partials folded by a tiled
+/// deterministic reduction.
 void FusedExecutor::Impl::execute_parallel(
     Runtime& rt, const ExecArgs& args, int want_threads,
     std::vector<std::vector<double>>& shared_bufs, ExecStats* stats) const {
   ThreadPool& pool = ThreadPool::global();
   ExecStats st;
+  st.populated = true;
   st.threads_requested = want_threads;
+  st.total_regions = num_root_regions;
   const CsfTensor& csf = *rt.csf;
   const std::int64_t dense_out_len =
       rt.out_dense_data != nullptr && args.out_dense != nullptr
@@ -711,6 +828,9 @@ void FusedExecutor::Impl::execute_parallel(
           : 0;
   const std::int64_t sparse_out_len =
       rt.out_sparse_data != nullptr ? csf.nnz() : 0;
+  /// Static root chunks whose weight skew exceeds this trigger the nested
+  /// split (1.0 = perfectly balanced).
+  constexpr double kNestSkewThreshold = 1.25;
 
   for (std::size_t t = 0; t < top.size(); ++t) {
     const CActionRef& a = top[t];
@@ -725,70 +845,270 @@ void FusedExecutor::Impl::execute_parallel(
       run_action(rt, a);
       continue;
     }
+    const CLoop* inner =
+        meta.inner_loop >= 0
+            ? &loops[static_cast<std::size_t>(meta.inner_loop)]
+            : nullptr;
 
-    // Every chunk pays a Runtime (private-buffer allocation), and chunks
-    // beyond the pool's lanes only help by smoothing nnz imbalance, so cap
-    // disjoint-write regions at a few chunks per lane. Regions whose
-    // output needs per-partition partials also pay a full output copy per
-    // chunk and are capped at the lane count itself.
-    const bool needs_partials =
+    // Work geometry of the root space. Sparse roots weigh positions by
+    // subtree nnz; dense roots weigh every position by the (uniform) work
+    // of one iteration so that small-extent roots still expose enough
+    // total weight for the nested split to aim at.
+    std::vector<std::int64_t> leaf_begin;  // sparse roots only
+    std::int64_t extent = 0;
+    std::int64_t dense_w_each = 1;
+    if (root.sparse) {
+      extent = csf.num_nodes(0);
+      leaf_begin = leaf_offsets(csf, 0);
+    } else {
+      extent = root.extent;
+      if (inner != nullptr) {
+        dense_w_each = inner->sparse ? std::max<std::int64_t>(csf.nnz(), 1)
+                                     : std::max<std::int64_t>(inner->extent, 1);
+      }
+    }
+    const std::int64_t total_w =
+        root.sparse ? (leaf_begin.empty() ? 0 : leaf_begin.back())
+                    : extent * dense_w_each;
+    const auto node_weight = [&](std::int64_t p) {
+      return root.sparse ? leaf_begin[static_cast<std::size_t>(p + 1)] -
+                               leaf_begin[static_cast<std::size_t>(p)]
+                         : dense_w_each;
+    };
+    if (extent == 0 || total_w == 0) {
+      run_action(rt, a);
+      continue;
+    }
+
+    // Every task pays a Runtime (private-buffer allocation), and tasks
+    // beyond the pool's lanes only help by smoothing weight imbalance the
+    // stealing pool can absorb, so budget disjoint-write regions at a few
+    // tasks per lane. Regions whose output needs per-task partials also
+    // pay a full output copy per task and are budgeted at the lane count.
+    const bool flat_partials =
         (meta.writes_out_dense && !meta.out_dense_rooted) ||
         (meta.writes_out_sparse && !root.sparse);
-    const int parts_budget = std::min(
-        want_threads, needs_partials ? pool.size() : 4 * pool.size());
+    const int flat_budget = std::min(
+        want_threads, flat_partials ? pool.size() : 4 * pool.size());
+    const std::int64_t requested_eff =
+        std::min<std::int64_t>(flat_budget, total_w);
 
-    // Partition the root iteration space.
+    // Static nnz-balanced (or even) root chunking.
     std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
-    double imbalance = 1.0;
     if (root.sparse) {
-      const std::int64_t extent = csf.num_nodes(0);
-      std::vector<std::int64_t> leaf_begin(
-          static_cast<std::size_t>(extent) + 1);
-      for (std::int64_t i = 0; i <= extent; ++i) leaf_begin[i] = i;
-      for (int lvl = 0; lvl + 1 < csf.order(); ++lvl) {
-        const auto ptr = csf.level_ptr(lvl);
-        for (auto& b : leaf_begin) b = ptr[static_cast<std::size_t>(b)];
-      }
-      chunks = partition_by_nnz(leaf_begin, parts_budget);
-      if (chunks.size() > 1) {
-        std::int64_t max_nnz = 0;
-        for (const auto& [b, e] : chunks) {
-          max_nnz = std::max(max_nnz, leaf_begin[e] - leaf_begin[b]);
-        }
-        imbalance = static_cast<double>(max_nnz) *
-                    static_cast<double>(chunks.size()) /
-                    static_cast<double>(leaf_begin.back());
-      }
+      chunks = partition_by_nnz(leaf_begin, flat_budget);
     } else {
-      const std::int64_t extent = root.extent;
-      const auto parts = std::min<std::int64_t>(parts_budget, extent);
+      const auto parts = std::min<std::int64_t>(flat_budget, extent);
       for (std::int64_t c = 0; c < parts; ++c) {
         const std::int64_t b = extent * c / parts;
         const std::int64_t e = extent * (c + 1) / parts;
         if (e > b) chunks.emplace_back(b, e);
       }
     }
-    if (chunks.size() < 2) {
+    std::vector<ParTask> tasks;
+    tasks.reserve(chunks.size());
+    std::int64_t max_chunk_w = 0;
+    for (const auto& [b, e] : chunks) {
+      ParTask task;
+      task.root_begin = b;
+      task.root_end = e;
+      task.weight = root.sparse
+                        ? leaf_begin[static_cast<std::size_t>(e)] -
+                              leaf_begin[static_cast<std::size_t>(b)]
+                        : (e - b) * dense_w_each;
+      max_chunk_w = std::max(max_chunk_w, task.weight);
+      tasks.push_back(task);
+    }
+    // True imbalance of the static partition measured against an even
+    // `requested_eff`-way split — a single mega-chunk shows up as ~lanes
+    // instead of hiding behind a chunk-count denominator of one.
+    const double static_imbalance =
+        requested_eff > 1 ? static_cast<double>(max_chunk_w) *
+                                static_cast<double>(requested_eff) /
+                                static_cast<double>(total_w)
+                          : 1.0;
+
+    // Decide whether to re-partition with the nested second-level split:
+    // the static chunking failed to produce the requested parallelism
+    // (small/skewed root) and the region admits it. Should the rebuild not
+    // actually improve on the static chunking (e.g. the nested partials
+    // budget is a single lane), the flat chunks below stay in effect.
+    const bool want_nested =
+        meta.nest_safe && inner != nullptr && requested_eff > 1 &&
+        (static_cast<std::int64_t>(tasks.size()) < requested_eff ||
+         static_imbalance > kNestSkewThreshold);
+    bool has_nested = false;
+    if (want_nested) {
+      std::vector<ParTask> nested_tasks;
+      // Rebuild the task list from scratch: heavy root positions split
+      // into second-level sub-ranges aimed at `target` weight each; light
+      // positions coalesce into contiguous chunks of ~target weight. The
+      // shape depends only on the CSF structure and the budget, so the
+      // partition (and therefore the reduction shape) is deterministic.
+      const bool nested_partials =
+          (meta.writes_out_dense &&
+           !(meta.out_dense_rooted && meta.out_dense_inner_rooted)) ||
+          (meta.writes_out_sparse && !(root.sparse && inner->sparse));
+      const std::int64_t budget = std::max<std::int64_t>(
+          1, std::min<std::int64_t>(
+                 std::min(want_threads,
+                          nested_partials ? pool.size() : 4 * pool.size()),
+                 total_w));
+      const std::int64_t target = (total_w + budget - 1) / budget;
+      // Leaf offsets one level below the root for nnz-balanced inner cuts.
+      std::vector<std::int64_t> inner_leaf;
+      if (inner->sparse) {
+        inner_leaf = leaf_offsets(csf, inner->csf_level);
+      }
+      const auto inner_range = [&](std::int64_t p) {
+        if (!inner->sparse) {
+          return std::pair<std::int64_t, std::int64_t>{0, inner->extent};
+        }
+        if (!root.sparse) {
+          return std::pair<std::int64_t, std::int64_t>{
+              0, csf.num_nodes(inner->csf_level)};
+        }
+        const auto ptr = csf.level_ptr(root.csf_level);
+        return std::pair<std::int64_t, std::int64_t>{
+            ptr[static_cast<std::size_t>(p)],
+            ptr[static_cast<std::size_t>(p + 1)]};
+      };
+      const auto split_heavy = [&](std::int64_t p, std::int64_t w) {
+        const auto [ib, ie] = inner_range(p);
+        const std::int64_t cap = ie - ib;
+        const std::int64_t pieces = std::clamp<std::int64_t>(
+            (w + target - 1) / target, 1, std::max<std::int64_t>(cap, 1));
+        if (pieces < 2) {
+          ParTask task;
+          task.root_begin = p;
+          task.root_end = p + 1;
+          task.weight = w;
+          nested_tasks.push_back(task);
+          return;
+        }
+        has_nested = true;
+        std::int64_t prev = ib;
+        for (std::int64_t c = 1; c <= pieces && prev < ie; ++c) {
+          std::int64_t end;
+          if (c == pieces) {
+            end = ie;
+          } else if (inner->sparse) {
+            const std::int64_t goal =
+                inner_leaf[static_cast<std::size_t>(ib)] +
+                (inner_leaf[static_cast<std::size_t>(ie)] -
+                 inner_leaf[static_cast<std::size_t>(ib)]) *
+                    c / pieces;
+            end = std::lower_bound(inner_leaf.begin() + ib,
+                                   inner_leaf.begin() + ie, goal) -
+                  inner_leaf.begin();
+            end = std::clamp(end, prev, ie);
+          } else {
+            end = ib + cap * c / pieces;
+            end = std::clamp(end, prev, ie);
+          }
+          if (end > prev) {
+            ParTask task;
+            task.root_begin = p;
+            task.root_end = p + 1;
+            task.inner_begin = prev;
+            task.inner_end = end;
+            task.weight =
+                inner->sparse
+                    ? inner_leaf[static_cast<std::size_t>(end)] -
+                          inner_leaf[static_cast<std::size_t>(prev)]
+                    : w * (end - prev) / std::max<std::int64_t>(cap, 1);
+            nested_tasks.push_back(task);
+          }
+          prev = end;
+        }
+      };
+      std::int64_t run_begin = 0;
+      std::int64_t run_w = 0;
+      const auto flush_run = [&](std::int64_t end_exclusive) {
+        if (run_begin < end_exclusive && run_w > 0) {
+          ParTask task;
+          task.root_begin = run_begin;
+          task.root_end = end_exclusive;
+          task.weight = run_w;
+          nested_tasks.push_back(task);
+        }
+        run_begin = end_exclusive;
+        run_w = 0;
+      };
+      for (std::int64_t p = 0; p < extent; ++p) {
+        const std::int64_t w = node_weight(p);
+        if (w > target) {
+          flush_run(p);
+          split_heavy(p, w);
+          run_begin = p + 1;
+          continue;
+        }
+        run_w += w;
+        if (run_w >= target) flush_run(p + 1);
+      }
+      flush_run(extent);
+      // Adopt the rebuild only when it improves the worst task — the flat
+      // direct-write budget (4x lanes) often holds *more* tasks than the
+      // partials-capped rebuild, so comparing counts would keep a
+      // serialized mega-chunk just because the balanced partition is
+      // smaller. Same output routing → any strict improvement wins; a
+      // switch from direct writes to per-task partials additionally pays
+      // an output copy per task plus the reduction pass, so it must beat
+      // the flat partition by the skew threshold. A degenerate rebuild
+      // (e.g. a one-lane partials budget) keeps the flat chunks.
+      std::int64_t nested_max_w = 0;
+      for (const ParTask& task : nested_tasks) {
+        nested_max_w = std::max(nested_max_w, task.weight);
+      }
+      const bool same_routing = !nested_partials || flat_partials;
+      const bool adopt =
+          has_nested && nested_tasks.size() >= 2 &&
+          (same_routing ? nested_max_w < max_chunk_w
+                        : static_cast<double>(nested_max_w) *
+                                  kNestSkewThreshold <
+                              static_cast<double>(max_chunk_w));
+      if (adopt) {
+        tasks = std::move(nested_tasks);
+      } else {
+        has_nested = false;
+      }
+    }
+
+    const auto n_tasks = static_cast<std::int64_t>(tasks.size());
+    if (n_tasks < 2) {
+      // Could not be split (single position, or all weight in unsplittable
+      // work). Record the true skew of the attempted partition so the
+      // serialization is observable, then run in place.
+      if (requested_eff > 1) {
+        st.partition_imbalance =
+            std::max(st.partition_imbalance, static_imbalance);
+      }
       run_action(rt, a);
       continue;
     }
 
-    // Output routing. Sparse-rooted partitions own disjoint leaf ranges, so
-    // pattern-aligned outputs always write directly; dense outputs write
-    // directly only when strided by the root index.
-    const bool dense_direct = !meta.writes_out_dense || meta.out_dense_rooted;
-    const bool sparse_direct = !meta.writes_out_sparse || root.sparse;
-    const auto n_chunks = static_cast<std::int64_t>(chunks.size());
+    // Output routing. Tasks disjoint in the root index write dense outputs
+    // strided by the root directly; nested tasks additionally need the
+    // inner stride. Sparse (pattern-aligned) outputs write directly when
+    // tasks own disjoint leaf ranges — true for sparse roots, and for
+    // nested tasks only when the inner loop is also sparse.
+    const bool dense_direct =
+        !meta.writes_out_dense ||
+        (meta.out_dense_rooted &&
+         (!has_nested || meta.out_dense_inner_rooted));
+    const bool sparse_direct =
+        !meta.writes_out_sparse ||
+        (root.sparse && (!has_nested || inner->sparse));
     std::vector<std::vector<double>> dense_partial;
     std::vector<std::vector<double>> sparse_partial;
     if (!dense_direct) {
-      dense_partial.assign(static_cast<std::size_t>(n_chunks), {});
+      dense_partial.assign(static_cast<std::size_t>(n_tasks), {});
     }
     if (!sparse_direct) {
-      sparse_partial.assign(static_cast<std::size_t>(n_chunks), {});
+      sparse_partial.assign(static_cast<std::size_t>(n_tasks), {});
     }
 
-    pool.parallel_apply(n_chunks, [&](std::int64_t c) {
+    pool.parallel_apply(n_tasks, [&](std::int64_t c) {
       Runtime wrt = make_runtime(&shared_bufs);
       wrt.dense_data = rt.dense_data;
       wrt.csf = rt.csf;
@@ -804,20 +1124,50 @@ void FusedExecutor::Impl::execute_parallel(
         p.assign(static_cast<std::size_t>(sparse_out_len), 0.0);
         wrt.out_sparse_data = p.data();
       }
-      const auto& [begin, end] = chunks[static_cast<std::size_t>(c)];
-      run_loop(wrt, root, begin, end);
+      const ParTask& task = tasks[static_cast<std::size_t>(c)];
+      if (task.inner_begin < 0) {
+        run_loop(wrt, root, task.root_begin, task.root_end);
+      } else {
+        // Nested task: bind the single root position, then run the second
+        // loop over the narrowed range (the root body is exactly this
+        // loop, by the nest_safe analysis).
+        if (root.sparse) {
+          const int lvl = root.csf_level;
+          wrt.idx_val[static_cast<std::size_t>(root.index)] =
+              csf.level_idx(lvl)[static_cast<std::size_t>(task.root_begin)];
+          wrt.csf_node[static_cast<std::size_t>(lvl)] = task.root_begin;
+        } else {
+          wrt.idx_val[static_cast<std::size_t>(root.index)] =
+              task.root_begin;
+        }
+        run_loop(wrt, *inner, task.inner_begin, task.inner_end);
+      }
     });
 
     if (!dense_direct) {
-      tree_reduce(pool, dense_partial, dense_out_len, rt.out_dense_data);
+      reduce_partials(pool, dense_partial, dense_out_len, rt.out_dense_data);
     }
     if (!sparse_direct) {
-      tree_reduce(pool, sparse_partial, sparse_out_len, rt.out_sparse_data);
+      reduce_partials(pool, sparse_partial, sparse_out_len,
+                      rt.out_sparse_data);
     }
 
     ++st.parallel_regions;
-    st.threads_used =
-        std::max(st.threads_used, static_cast<int>(n_chunks));
+    if (has_nested) ++st.nested_regions;
+    // Fragmentation in the nested rebuild (heavy nodes interrupting light
+    // runs) may emit a few more tasks than the lane budget; the surplus
+    // only smooths imbalance, so the reported width honors the caller's
+    // threads_used <= threads_requested contract.
+    st.threads_used = std::max(
+        st.threads_used,
+        static_cast<int>(std::min<std::int64_t>(n_tasks, want_threads)));
+    std::int64_t max_task_w = 0;
+    for (const ParTask& task : tasks) {
+      max_task_w = std::max(max_task_w, task.weight);
+    }
+    const double imbalance = static_cast<double>(max_task_w) *
+                             static_cast<double>(n_tasks) /
+                             static_cast<double>(total_w);
     st.partition_imbalance = std::max(st.partition_imbalance, imbalance);
   }
   if (stats != nullptr) *stats = st;

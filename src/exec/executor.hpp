@@ -24,23 +24,45 @@
 namespace spttn {
 
 /// Per-execution diagnostics, filled when ExecArgs.stats is set. The
-/// runtime never falls back silently: when num_threads > 1 the outcome of
-/// every root loop (parallelized or not, and why not) is observable here.
+/// runtime never falls back silently: every execution that received a
+/// stats out-param fills it (populated = true), so "ran sequentially"
+/// (threads_used == 1, total_regions counted) is distinguishable from
+/// "stats never populated" (all defaults), and when num_threads > 1 the
+/// outcome of every root loop (parallelized, nested, or not, and why not)
+/// is observable here.
 struct ExecStats {
+  /// Set by every execute() call that was handed this struct, on both the
+  /// sequential and the parallel path.
+  bool populated = false;
   int threads_requested = 1;
-  /// Widest work partitioning of any root-loop region (chunk count; 1 when
-  /// everything executed sequentially). Saturates at the root extent.
-  /// Actual concurrency is additionally bounded by the process pool's lane
-  /// count — regions needing per-partition output partials are capped at
-  /// that; disjoint-write regions may carry more chunks than lanes.
+  /// Widest work partitioning of any root-loop region (task count, capped
+  /// at threads_requested — nested fragmentation may emit a few surplus
+  /// tasks that only smooth imbalance; 1 when everything executed
+  /// sequentially). No longer saturates at the root
+  /// extent: regions whose root is too small or too skewed split across
+  /// the second loop level. Actual concurrency is additionally bounded by
+  /// the process pool's lane count — regions needing per-task output
+  /// partials are budgeted at that; disjoint-write regions may carry more
+  /// tasks than lanes (the work-stealing pool balances them).
   int threads_used = 1;
-  /// Top-level loops executed through the thread pool (>= 2 partitions).
+  /// Top-level loops executed through the thread pool (>= 2 tasks).
   int parallel_regions = 0;
   /// Top-level loops that requested threads but could not be partitioned
   /// safely (e.g. a cross-root buffer not indexed by the root loop).
   int fallback_regions = 0;
-  /// Max over parallel sparse-root regions of (largest chunk nnz) / (mean
-  /// chunk nnz); 1.0 when balanced, dense-rooted, or sequential.
+  /// Parallel regions that engaged the nested second-level split (root
+  /// extent below the lane budget, or root-chunk skew above threshold).
+  int nested_regions = 0;
+  /// Top-level loop regions in the compiled program (filled on both the
+  /// sequential and parallel paths).
+  int total_regions = 0;
+  /// Max over root regions of (largest task weight) / (mean task weight),
+  /// where weight is subtree nnz for sparse roots and iteration count for
+  /// dense roots; 1.0 when balanced or when there was no work to split.
+  /// A region that a multi-lane request failed to split at all reports its
+  /// weight skew against the *requested* partition (mean = total /
+  /// requested lanes), so a serialized mega-chunk is visible instead of
+  /// hiding behind the old always-1.0 default.
   double partition_imbalance = 1.0;
 };
 
@@ -59,12 +81,17 @@ struct ExecArgs {
   /// Accumulate into the output instead of zeroing it first.
   bool accumulate = false;
   /// Lanes of parallelism for the root loop(s), served by the process-wide
-  /// ThreadPool. Sparse root loops are partitioned by subtree nonzero count
-  /// (not equal index ranges); dense root loops split evenly; multi-root
-  /// forests parallelize each root loop with a barrier between roots.
-  /// Workers own private intermediates; cross-root buffers stay shared with
-  /// disjoint writes; dense outputs either write disjoint slices directly
-  /// or are tree-reduced deterministically. 1 = sequential.
+  /// work-stealing ThreadPool. Sparse root loops are partitioned by subtree
+  /// nonzero count (not equal index ranges); dense root loops split evenly;
+  /// multi-root forests parallelize each root loop with a barrier between
+  /// roots. A root whose extent is below the lane budget, or whose chunks
+  /// are skewed (one subtree owning most nonzeros), is additionally split
+  /// across the second loop level into finer tasks the pool balances
+  /// dynamically. Workers own private intermediates; cross-root buffers
+  /// stay shared with disjoint writes; outputs either write disjoint
+  /// slices directly or go through per-task partials folded by a tiled
+  /// deterministic reduction (same partition shape => bit-identical
+  /// results run to run). 1 = sequential.
   int num_threads = 1;
   /// Optional out-param receiving per-execution diagnostics.
   ExecStats* stats = nullptr;

@@ -7,6 +7,7 @@
 #include "dist/grid.hpp"
 #include "exec/reference.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spttn {
 namespace {
@@ -195,6 +196,60 @@ TEST(DistSpttn, HybridLocalThreadsMatchesSingleThreaded) {
       ASSERT_LT(want.max_abs_diff(got), 1e-12);
     }
   }
+}
+
+// Concurrent simulated ranks must be bit-identical to the sequential rank
+// loop for the Figure 8 kernel families: every rank computes into a
+// private partial either way and the closing reduction folds partials in
+// ascending rank order, so scheduling cannot change a single bit.
+TEST(DistSpttn, ConcurrentRanksBitIdenticalToSequential) {
+  testing::ScopedLanes lanes(4);  // real lanes even on 1-core CI boxes
+  for (int kernel_idx : {0, 2, 4}) {  // mttkrp3, ttmc3, tttp3 (Fig. 8)
+    SCOPED_TRACE(paper_kernels()[static_cast<std::size_t>(kernel_idx)].name);
+    const auto inst = testing::make_instance(
+        paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+        4444 + kernel_idx);
+    const Kernel& k = inst->bound.kernel;
+    for (int ranks : {2, 5}) {
+      SCOPED_TRACE("ranks=" + std::to_string(ranks));
+      DistSpttn dist(inst->bound, ranks);
+      const PlannerOptions opts;
+      if (k.output_is_sparse()) {
+        std::vector<double> want(static_cast<std::size_t>(inst->sparse.nnz()));
+        std::vector<double> got(want.size());
+        dist.run(opts, nullptr, want, /*local_threads=*/1,
+                 /*concurrent_ranks=*/false);
+        dist.run(opts, nullptr, got, /*local_threads=*/1,
+                 /*concurrent_ranks=*/true);
+        for (std::size_t e = 0; e < want.size(); ++e) {
+          ASSERT_EQ(want[e], got[e]);
+        }
+      } else {
+        DenseTensor want = make_output(inst->bound);
+        DenseTensor got = make_output(inst->bound);
+        dist.run(opts, &want, {}, /*local_threads=*/1,
+                 /*concurrent_ranks=*/false);
+        dist.run(opts, &got, {}, /*local_threads=*/1,
+                 /*concurrent_ranks=*/true);
+        ASSERT_EQ(want.max_abs_diff(got), 0.0);
+      }
+    }
+  }
+}
+
+// Hybrid: concurrent ranks whose local nests themselves request pool lanes
+// (the inner parallel_apply runs inline inside a rank task) must still be
+// bit-identical to the sequential hybrid run.
+TEST(DistSpttn, ConcurrentRanksWithLocalThreadsMatch) {
+  testing::ScopedLanes lanes(4);
+  const auto inst = testing::make_instance(paper_kernels()[0], 4545);
+  DistSpttn dist(inst->bound, 3);
+  const PlannerOptions opts;
+  DenseTensor want = make_output(inst->bound);
+  DenseTensor got = make_output(inst->bound);
+  dist.run(opts, &want, {}, /*local_threads=*/4, /*concurrent_ranks=*/false);
+  dist.run(opts, &got, {}, /*local_threads=*/4, /*concurrent_ranks=*/true);
+  EXPECT_EQ(want.max_abs_diff(got), 0.0);
 }
 
 TEST(DistSpttn, PartitionCoversAllNonzeros) {

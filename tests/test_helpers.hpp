@@ -10,8 +10,21 @@
 #include "exec/spttn.hpp"
 #include "tensor/generate.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spttn::testing {
+
+/// Pin the global pool to real lanes for the scope of a test (single-core
+/// CI boxes otherwise degrade the pool to one inline lane and the nested
+/// partitioner correctly refuses to over-split), then restore the default
+/// on destruction — including on early return from a failed ASSERT, so one
+/// failure cannot leak a pinned pool into later tests.
+struct ScopedLanes {
+  explicit ScopedLanes(int lanes) { ThreadPool::set_global_threads(lanes); }
+  ~ScopedLanes() { ThreadPool::set_global_threads(0); }
+  ScopedLanes(const ScopedLanes&) = delete;
+  ScopedLanes& operator=(const ScopedLanes&) = delete;
+};
 
 /// A kernel template: expression plus the dimensions of every index.
 struct KernelCase {

@@ -6,11 +6,33 @@
 #include "exec/executor.hpp"
 #include "exec/schedules.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spttn {
 namespace {
 
 using testing::paper_kernels;
+
+using testing::ScopedLanes;
+
+/// A third-order tensor whose root slice i=0 owns ~94% of the nonzeros
+/// (dims 40x60x30); the remaining slices carry one nonzero each.
+CooTensor single_heavy_slice_tensor(std::int64_t heavy_rows) {
+  CooTensor t({40, 60, 30});
+  Rng rng(11);
+  for (std::int64_t j = 0; j < 60; ++j) {
+    for (std::int64_t k = 0; k < 30; ++k) {
+      if ((j * 31 + k) % 2 == 0) {
+        t.push_back({0, j, k}, rng.next_double() + 0.5);
+      }
+    }
+  }
+  for (std::int64_t i = 1; i < heavy_rows; ++i) {
+    t.push_back({i, i % 60, i % 30}, 1.0 + static_cast<double>(i));
+  }
+  t.sort_dedup();
+  return t;
+}
 
 struct ParallelVsSequential
     : ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -246,6 +268,228 @@ TEST(Parallel, MultiRootForestParallelizesOrReports) {
   }
 }
 
+// Acceptance scenario for the nested runtime: one root slice holding >=90%
+// of the nonzeros must not serialize. The nested second-level split has to
+// engage (threads_used > 1), the imbalance of the executed partition must
+// be reported, results must match sequential to 1e-12, and reruns at the
+// same thread count must be bit-identical (deterministic partition shape
+// plus deterministic tiled reduction).
+TEST(Parallel, SkewedRootSplitsAcrossSecondLevel) {
+  ScopedLanes lanes(4);
+  const CooTensor t = single_heavy_slice_tensor(40);
+  Rng rng(21);
+  const DenseTensor b = random_dense({60, 8}, rng);
+  const DenseTensor c = random_dense({30, 8}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+  const Plan plan = plan_kernel(bound);
+  FusedExecutor exec(bound.kernel, plan);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+
+  DenseTensor seq = make_output(bound);
+  args.out_dense = &seq;
+  exec.execute(args);
+
+  DenseTensor par = make_output(bound);
+  args.out_dense = &par;
+  args.num_threads = 8;
+  ExecStats stats;
+  args.stats = &stats;
+  exec.execute(args);
+
+  EXPECT_TRUE(stats.populated);
+  EXPECT_GT(stats.threads_used, 1) << "skewed root serialized";
+  EXPECT_GE(stats.nested_regions, 1) << "nested split did not engage";
+  EXPECT_EQ(stats.fallback_regions, 0);
+  EXPECT_GE(stats.partition_imbalance, 1.0);
+  EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+
+  DenseTensor again = make_output(bound);
+  args.out_dense = &again;
+  exec.execute(args);
+  EXPECT_EQ(par.max_abs_diff(again), 0.0) << "rerun not bit-identical";
+}
+
+// Regression for the mega-chunk bug: when ALL nonzeros live under a single
+// root node the old partitioner returned one chunk, reported imbalance 1.0
+// and silently serialized. Now the nested split carries the region, and
+// when it cannot, the true imbalance of the attempted partition must be
+// visible. Here the root has exactly one occupied node.
+TEST(Parallel, SingleHeavySliceDoesNotHideSerialization) {
+  ScopedLanes lanes(4);
+  const CooTensor t = single_heavy_slice_tensor(1);  // only the i=0 slice
+  Rng rng(22);
+  const DenseTensor b = random_dense({60, 6}, rng);
+  const DenseTensor c = random_dense({30, 6}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+  const Plan plan = plan_kernel(bound);
+  FusedExecutor exec(bound.kernel, plan);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+
+  DenseTensor seq = make_output(bound);
+  args.out_dense = &seq;
+  exec.execute(args);
+
+  DenseTensor par = make_output(bound);
+  args.out_dense = &par;
+  args.num_threads = 8;
+  ExecStats stats;
+  args.stats = &stats;
+  exec.execute(args);
+
+  EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+  // Either the nested split engaged (threads_used > 1) or the serialized
+  // region reported its skew; with a single-loop body kernel the former
+  // must hold.
+  EXPECT_GT(stats.threads_used, 1)
+      << "single-node root serialized despite nested split, imbalance="
+      << stats.partition_imbalance;
+  EXPECT_GE(stats.nested_regions, 1);
+}
+
+// Regression for the adoption-by-count bug: a root slice owning ~50% of
+// the nonzeros makes the flat direct-write chunking (4x-lane budget)
+// produce MORE tasks than the partials-capped nested rebuild, so the old
+// `nested_tasks.size() >= tasks.size()` test discarded the balanced
+// partition and kept the serialized mega-chunk. The rebuild must be
+// adopted on worst-task weight instead.
+TEST(Parallel, ModerateSkewAdoptsSmallerBalancedRebuild) {
+  ScopedLanes lanes(4);
+  CooTensor t({64, 48, 24});
+  Rng rng(31);
+  // Slice i=0 carries ~50% of the nonzeros; the rest spread evenly.
+  for (std::int64_t j = 0; j < 48; ++j) {
+    for (std::int64_t k = 0; k < 24; ++k) {
+      if ((j * 7 + k) % 3 == 0) t.push_back({0, j, k}, rng.next_double());
+    }
+  }
+  for (std::int64_t i = 1; i < 64; ++i) {
+    for (std::int64_t e = 0; e < 6; ++e) {
+      t.push_back({i, (i * 5 + e * 11) % 48, (i * 3 + e) % 24},
+                  rng.next_double());
+    }
+  }
+  t.sort_dedup();
+  const DenseTensor b = random_dense({48, 8}, rng);
+  const DenseTensor c = random_dense({24, 8}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+  const Plan plan = plan_kernel(bound);
+  FusedExecutor exec(bound.kernel, plan);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+
+  DenseTensor seq = make_output(bound);
+  args.out_dense = &seq;
+  exec.execute(args);
+
+  DenseTensor par = make_output(bound);
+  args.out_dense = &par;
+  args.num_threads = 16;
+  ExecStats stats;
+  args.stats = &stats;
+  exec.execute(args);
+
+  EXPECT_GE(stats.nested_regions, 1)
+      << "balanced rebuild rejected, imbalance=" << stats.partition_imbalance;
+  EXPECT_GT(stats.threads_used, 1);
+  // The executed partition must not retain the ~50% mega-chunk (which
+  // would read as imbalance ~= tasks/2).
+  EXPECT_LT(stats.partition_imbalance, 2.0);
+  EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+}
+
+// Nested determinism across output families on tiny-extent roots (three
+// root slices, hundreds of nonzeros each, lane budget above the extent):
+// threaded results land on sequential at 1e-12 and reruns are
+// bit-identical. TTTP (sparse output over sparse root + sparse inner)
+// keeps direct leaf-range writes even when nested, so it must match the
+// sequential values exactly.
+TEST(Parallel, NestedPartitionDeterminismOnSmallRoots) {
+  ScopedLanes lanes(4);
+  CooTensor t({3, 40, 25});
+  Rng rng(23);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 40; ++j) {
+      for (std::int64_t k = 0; k < 25; ++k) {
+        if ((i * 7 + j * 3 + k) % 4 == 0) {
+          t.push_back({i, j, k}, rng.next_double() - 0.5);
+        }
+      }
+    }
+  }
+  t.sort_dedup();
+  const DenseTensor u = random_dense({40, 5}, rng);
+  const DenseTensor v = random_dense({25, 5}, rng);
+  const DenseTensor w3 = random_dense({3, 5}, rng);
+
+  struct Case {
+    std::string expr;
+    std::vector<const DenseTensor*> dense;
+    bool sparse_out;
+  };
+  const std::vector<Case> cases = {
+      {"A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", {&u, &v}, false},
+      {"S(i,r,s) = T(i,j,k)*U(j,r)*V(k,s)", {&u, &v}, false},
+      {"S(i,j,k) = T(i,j,k)*U(i,r)*V(j,r)*W(k,r)", {&w3, &u, &v}, true},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.expr);
+    const BoundKernel bound = spttn::bind(c.expr, t, c.dense);
+    const Plan plan = plan_kernel(bound);
+    FusedExecutor exec(bound.kernel, plan);
+    ExecArgs args;
+    args.sparse = &bound.csf;
+    args.dense = bound.dense;
+    if (c.sparse_out) {
+      std::vector<double> seq(static_cast<std::size_t>(t.nnz()), 0.0);
+      std::vector<double> par = seq;
+      std::vector<double> again = seq;
+      args.out_sparse = seq;
+      exec.execute(args);
+      args.num_threads = 16;
+      ExecStats stats;
+      args.stats = &stats;
+      args.out_sparse = par;
+      exec.execute(args);
+      args.out_sparse = again;
+      exec.execute(args);
+      EXPECT_GT(stats.threads_used, 1);
+      // Direct leaf-range writes: nested tasks compute each pattern value
+      // whole, so the parallel result is the sequential one bit for bit
+      // (and reruns trivially so).
+      for (std::size_t e = 0; e < seq.size(); ++e) {
+        ASSERT_EQ(par[e], again[e]);  // bit-identical rerun
+        ASSERT_EQ(seq[e], par[e]);
+      }
+    } else {
+      DenseTensor seq = make_output(bound);
+      args.out_dense = &seq;
+      exec.execute(args);
+      args.num_threads = 16;
+      ExecStats stats;
+      args.stats = &stats;
+      DenseTensor par = make_output(bound);
+      args.out_dense = &par;
+      exec.execute(args);
+      DenseTensor again = make_output(bound);
+      args.out_dense = &again;
+      exec.execute(args);
+      EXPECT_GT(stats.threads_used, 1);
+      EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+      EXPECT_EQ(par.max_abs_diff(again), 0.0);
+    }
+    args.num_threads = 1;
+    args.stats = nullptr;
+  }
+}
+
 // Sequential runs must report stats too (threads_used == 1).
 TEST(Parallel, SequentialStatsAreObservable) {
   const auto inst = testing::make_instance(paper_kernels()[0], 6400);
@@ -263,6 +507,11 @@ TEST(Parallel, SequentialStatsAreObservable) {
   EXPECT_EQ(stats.threads_used, 1);
   EXPECT_EQ(stats.threads_requested, 1);
   EXPECT_EQ(stats.parallel_regions, 0);
+  // The sequential path fills the struct for real instead of resetting it
+  // to defaults: "ran sequentially" is distinguishable from "never ran".
+  EXPECT_TRUE(stats.populated);
+  EXPECT_GE(stats.total_regions, 1);
+  EXPECT_FALSE(ExecStats{}.populated);
 }
 
 }  // namespace

@@ -188,5 +188,31 @@ INSTANTIATE_TEST_SUITE_P(
       return paper_kernels()[static_cast<std::size_t>(info.param)].name;
     });
 
+// The parallel executable-path filter (and its precomputed FLOP sort keys)
+// must reproduce the sequential enumeration order exactly. The parallel
+// call runs on a *fresh* SparsityStats so its lazy projection cache starts
+// cold — concurrent path_flops calls then race to fill it, which is
+// exactly the access pattern the cache's internal lock must serialize
+// (under TSan this is the regression test for that lock).
+TEST(Planner, ParallelExecutablePathsMatchSequential) {
+  testing::ScopedLanes lanes(4);  // real lanes even on 1-core CI boxes
+  for (int kernel_idx : {0, 2, 4, 6}) {
+    const auto inst = testing::make_instance(
+        paper_kernels()[static_cast<std::size_t>(kernel_idx)],
+        7700 + kernel_idx);
+    const Kernel& k = inst->bound.kernel;
+    int total_seq = 0;
+    int total_par = 0;
+    const auto seq = executable_paths(k, inst->bound.stats, &total_seq, 1);
+    const SparsityStats cold = SparsityStats::from_coo(inst->sparse);
+    const auto par = executable_paths(k, cold, &total_par, 0);
+    EXPECT_EQ(total_seq, total_par);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(seq[i].to_string(k), par[i].to_string(k)) << "path " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace spttn
