@@ -1,12 +1,10 @@
 #include "apps/decompose.hpp"
 
 #include <cmath>
-#include <optional>
 
 #include "apps/linalg.hpp"
-#include "exec/executor.hpp"
 #include "exec/kernels.hpp"
-#include "tensor/csf_tensor.hpp"
+#include "serve/session.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -16,45 +14,16 @@ namespace spttn {
 
 namespace {
 
-/// One planned, reusable SpTTN kernel execution.
-struct KernelRunner {
-  Kernel kernel;
-  Plan plan;
-  std::optional<FusedExecutor> exec;
-
-  KernelRunner(const std::string& expr, const CooTensor& coo,
-               const std::vector<const DenseTensor*>& dense_by_input,
-               const SparsityStats& stats, const PlannerOptions& options) {
-    kernel = Kernel::parse(expr);
-    for (int l = 0; l < coo.order(); ++l) {
-      kernel.set_index_dim(kernel.sparse_ref().idx[static_cast<std::size_t>(l)],
-                           coo.dim(l));
-    }
-    for (int i = 0; i < kernel.num_inputs(); ++i) {
-      if (i == kernel.sparse_input()) continue;
-      const DenseTensor* d = dense_by_input[static_cast<std::size_t>(i)];
-      const TensorRef& ref = kernel.input(i);
-      for (int m = 0; m < ref.order(); ++m) {
-        kernel.set_index_dim(ref.idx[static_cast<std::size_t>(m)], d->dim(m));
-      }
-    }
-    plan = make_plan(kernel, stats, options);
-    exec.emplace(kernel, plan);
-  }
-
-  double run(const CsfTensor& csf,
-             const std::vector<const DenseTensor*>& dense_by_input,
-             DenseTensor* out_dense, std::span<double> out_sparse) {
-    ExecArgs args;
-    args.sparse = &csf;
-    args.dense = dense_by_input;
-    args.out_dense = out_dense;
-    args.out_sparse = out_sparse;
-    Timer t;
-    exec->execute(args);
-    return t.seconds();
-  }
-};
+/// Execute a prepared session kernel with the given per-call factor slots,
+/// returning the wall-clock of the execution (the drivers report time
+/// spent inside SpTTN kernels separately from the dense linear algebra).
+double timed_run(Session& session, int kernel_id,
+                 const std::vector<const DenseTensor*>& slots,
+                 DenseTensor* out_dense, std::span<double> out_sparse = {}) {
+  Timer t;
+  session.run_with(kernel_id, slots, out_dense, out_sparse);
+  return t.seconds();
+}
 
 /// Index names i0..i{d-1} for the sparse modes.
 std::string mode_index(int m) { return "i" + std::to_string(m); }
@@ -155,11 +124,12 @@ AlsReport cp_als(const CooTensor& tensor, CpModel* model, int sweeps,
   const int d = tensor.order();
   SPTTN_CHECK(static_cast<int>(model->factors.size()) == d);
   AlsReport report;
-  const CsfTensor csf(tensor);
-  const SparsityStats stats = SparsityStats::from_coo(tensor);
 
-  // Plan one MTTKRP per output mode, reused across sweeps.
-  std::vector<KernelRunner> runners;
+  // One session binds the tensor (CSF + stats) once; the per-mode MTTKRP
+  // family resolves through the kernel cache, so repeated cp_als calls on
+  // the same structure skip the planner search entirely.
+  Session session(tensor, options);
+  std::vector<int> kernel_ids;
   std::vector<std::vector<const DenseTensor*>> slots(
       static_cast<std::size_t>(d));
   for (int mode = 0; mode < d; ++mode) {
@@ -168,17 +138,17 @@ AlsReport cp_als(const CooTensor& tensor, CpModel* model, int sweeps,
     for (int m = 0; m < d; ++m) {
       if (m != mode) s.push_back(&model->factors[static_cast<std::size_t>(m)]);
     }
-    runners.emplace_back(mttkrp_expr(d, mode), tensor,
-                         slots[static_cast<std::size_t>(mode)], stats,
-                         options);
+    kernel_ids.push_back(session.prepare(
+        mttkrp_expr(d, mode),
+        {s.begin() + 1, s.end()}));  // factors in order of appearance
   }
 
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (int mode = 0; mode < d; ++mode) {
       DenseTensor m_out({tensor.dim(mode), model->rank});
       report.seconds_in_kernels +=
-          runners[static_cast<std::size_t>(mode)].run(
-              csf, slots[static_cast<std::size_t>(mode)], &m_out, {});
+          timed_run(session, kernel_ids[static_cast<std::size_t>(mode)],
+                    slots[static_cast<std::size_t>(mode)], &m_out);
       // Normal equations: Hadamard of the other factors' Grams.
       DenseTensor v;
       bool first = true;
@@ -216,9 +186,11 @@ HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
                        int sweeps, const PlannerOptions& options) {
   SPTTN_CHECK_MSG(tensor.order() == 3, "tucker_hooi supports order 3");
   HooiReport report;
-  const CsfTensor csf(tensor);
-  const SparsityStats stats = SparsityStats::from_coo(tensor);
   const auto& r = model->ranks;
+
+  // One session serves the whole TTMc kernel family (three per-mode
+  // kernels plus the all-mode core update) against one CSF build.
+  Session session(tensor, options);
 
   // Per-mode TTMc kernels: Y = T x_{m'} U_{m'} for m' != m.
   const std::vector<std::string> exprs = {
@@ -231,17 +203,16 @@ HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
       {nullptr, &model->factors[0], &model->factors[2]},
       {nullptr, &model->factors[0], &model->factors[1]},
   };
-  std::vector<KernelRunner> runners;
+  std::vector<int> kernel_ids;
   for (int mode = 0; mode < 3; ++mode) {
-    runners.emplace_back(exprs[static_cast<std::size_t>(mode)], tensor,
-                         slots[static_cast<std::size_t>(mode)], stats,
-                         options);
+    const auto& s = slots[static_cast<std::size_t>(mode)];
+    kernel_ids.push_back(session.prepare(
+        exprs[static_cast<std::size_t>(mode)], {s.begin() + 1, s.end()}));
   }
   // All-mode TTMc for the core.
-  KernelRunner core_runner(
-      "G(a,b,c) = T(i0,i1,i2) * U0(i0,a) * U1(i1,b) * U2(i2,c)", tensor,
-      {nullptr, &model->factors[0], &model->factors[1], &model->factors[2]},
-      stats, options);
+  const int core_id = session.prepare(
+      "G(a,b,c) = T(i0,i1,i2) * U0(i0,a) * U1(i1,b) * U2(i2,c)",
+      {&model->factors[0], &model->factors[1], &model->factors[2]});
 
   for (int sweep = 0; sweep < sweeps; ++sweep) {
     for (int mode = 0; mode < 3; ++mode) {
@@ -252,8 +223,8 @@ HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
       DenseTensor y({tensor.dim(mode), r[static_cast<std::size_t>(ma)],
                      r[static_cast<std::size_t>(mb)]});
       report.seconds_in_kernels +=
-          runners[static_cast<std::size_t>(mode)].run(
-              csf, slots[static_cast<std::size_t>(mode)], &y, {});
+          timed_run(session, kernel_ids[static_cast<std::size_t>(mode)],
+                    slots[static_cast<std::size_t>(mode)], &y);
       // Matricized Y is (I x ra*rb) row-major. One orthogonal-iteration
       // step toward the leading left subspace (stand-in for the SVD).
       const std::int64_t cols =
@@ -272,10 +243,10 @@ HooiReport tucker_hooi(const CooTensor& tensor, TuckerModel* model,
       orthonormalize_columns(&u_new);
       u = std::move(u_new);
     }
-    report.seconds_in_kernels += core_runner.run(
-        csf,
+    report.seconds_in_kernels += timed_run(
+        session, core_id,
         {nullptr, &model->factors[0], &model->factors[1], &model->factors[2]},
-        &model->core, {});
+        &model->core);
     report.core_norms.push_back(model->core.norm());
     ++report.sweeps;
   }
@@ -288,22 +259,24 @@ CompletionReport cp_complete(const CooTensor& observed, CpModel* model,
   SPTTN_CHECK(observed.is_sorted());
   const int d = observed.order();
   CompletionReport report;
-  const SparsityStats stats = SparsityStats::from_coo(observed);
 
-  // Pattern CSF with unit values (for model evaluation via TTTP) and a
-  // residual CSF sharing the structure.
+  // Two sessions over the observation pattern: one with unit values (model
+  // evaluation via TTTP) and one whose values are rewritten to the
+  // residual each epoch (gradient MTTKRPs). They share every cached plan —
+  // plans depend only on structure, and both bind the same structure.
   CooTensor ones = observed;
   for (double& v : ones.values()) v = 1.0;
-  const CsfTensor csf_ones(ones);
-  CsfTensor csf_resid(ones);
+  Session eval_session(ones, options);
+  Session grad_session(ones, options);
 
   std::vector<const DenseTensor*> tttp_slots{nullptr};
   for (int m = 0; m < d; ++m) {
     tttp_slots.push_back(&model->factors[static_cast<std::size_t>(m)]);
   }
-  KernelRunner tttp(tttp_expr(d), observed, tttp_slots, stats, options);
+  const int tttp_id = eval_session.prepare(
+      tttp_expr(d), {tttp_slots.begin() + 1, tttp_slots.end()});
 
-  std::vector<KernelRunner> grad;
+  std::vector<int> grad_ids;
   std::vector<std::vector<const DenseTensor*>> grad_slots(
       static_cast<std::size_t>(d));
   for (int mode = 0; mode < d; ++mode) {
@@ -312,18 +285,17 @@ CompletionReport cp_complete(const CooTensor& observed, CpModel* model,
     for (int m = 0; m < d; ++m) {
       if (m != mode) s.push_back(&model->factors[static_cast<std::size_t>(m)]);
     }
-    grad.emplace_back(mttkrp_expr(d, mode), observed,
-                      grad_slots[static_cast<std::size_t>(mode)], stats,
-                      options);
+    grad_ids.push_back(
+        grad_session.prepare(mttkrp_expr(d, mode), {s.begin() + 1, s.end()}));
   }
 
   std::vector<double> model_vals(static_cast<std::size_t>(observed.nnz()));
   for (int epoch = 0; epoch < epochs; ++epoch) {
     // Model values on the pattern (TTTP with unit sparse values).
     report.seconds_in_kernels +=
-        tttp.run(csf_ones, tttp_slots, nullptr, model_vals);
+        timed_run(eval_session, tttp_id, tttp_slots, nullptr, model_vals);
     double se = 0;
-    auto resid_vals = csf_resid.vals();
+    auto resid_vals = grad_session.values();
     for (std::int64_t e = 0; e < observed.nnz(); ++e) {
       const double resid =
           observed.value(e) - model_vals[static_cast<std::size_t>(e)];
@@ -332,11 +304,13 @@ CompletionReport cp_complete(const CooTensor& observed, CpModel* model,
     }
     report.rmse.push_back(
         std::sqrt(se / static_cast<double>(observed.nnz())));
-    // Gradient step per factor: MTTKRP of the residual tensor.
+    // Gradient step per factor: MTTKRP of the residual values in place on
+    // the session's CSF (structure unchanged, so every cached plan holds).
     for (int mode = 0; mode < d; ++mode) {
       DenseTensor g({observed.dim(mode), model->rank});
-      report.seconds_in_kernels += grad[static_cast<std::size_t>(mode)].run(
-          csf_resid, grad_slots[static_cast<std::size_t>(mode)], &g, {});
+      report.seconds_in_kernels +=
+          timed_run(grad_session, grad_ids[static_cast<std::size_t>(mode)],
+                    grad_slots[static_cast<std::size_t>(mode)], &g);
       DenseTensor& u = model->factors[static_cast<std::size_t>(mode)];
       for (std::int64_t i = 0; i < u.size(); ++i) {
         u.data()[i] += step * g.data()[i];

@@ -85,6 +85,7 @@ SparsityStats SparsityStats::from_coo(const CooTensor& coo) {
   SparsityStats s;
   s.coo_ = &coo;
   s.nnz_ = coo.nnz();
+  s.fingerprint_ = coo.structure_hash();
   s.dims_ = coo.dims();
   s.prefix_.resize(static_cast<std::size_t>(coo.order()) + 1);
   for (int k = 0; k <= coo.order(); ++k) {
@@ -117,7 +118,11 @@ SparsityStats SparsityStats::uniform(const std::vector<std::int64_t>& dims,
 }
 
 SparsityStats::SparsityStats(const SparsityStats& o)
-    : prefix_(o.prefix_), dims_(o.dims_), nnz_(o.nnz_), coo_(o.coo_) {
+    : prefix_(o.prefix_),
+      dims_(o.dims_),
+      nnz_(o.nnz_),
+      fingerprint_(o.fingerprint_),
+      coo_(o.coo_) {
   std::lock_guard<std::mutex> lk(o.proj_m_);
   proj_cache_ = o.proj_cache_;
 }
@@ -127,6 +132,7 @@ SparsityStats& SparsityStats::operator=(const SparsityStats& o) {
   prefix_ = o.prefix_;
   dims_ = o.dims_;
   nnz_ = o.nnz_;
+  fingerprint_ = o.fingerprint_;
   coo_ = o.coo_;
   std::scoped_lock lk(proj_m_, o.proj_m_);
   proj_cache_ = o.proj_cache_;
@@ -137,6 +143,7 @@ SparsityStats::SparsityStats(SparsityStats&& o) noexcept
     : prefix_(std::move(o.prefix_)),
       dims_(std::move(o.dims_)),
       nnz_(o.nnz_),
+      fingerprint_(o.fingerprint_),
       coo_(o.coo_),
       proj_cache_(std::move(o.proj_cache_)) {}
 
@@ -145,6 +152,7 @@ SparsityStats& SparsityStats::operator=(SparsityStats&& o) noexcept {
   prefix_ = std::move(o.prefix_);
   dims_ = std::move(o.dims_);
   nnz_ = o.nnz_;
+  fingerprint_ = o.fingerprint_;
   coo_ = o.coo_;
   proj_cache_ = std::move(o.proj_cache_);
   return *this;

@@ -99,10 +99,17 @@ class SparsityStats {
 
   int order() const { return static_cast<int>(prefix_.size()) - 1; }
 
+  /// Structure fingerprint of the tensor these stats were taken from
+  /// (CooTensor::structure_hash()); 0 for modeled (uniform) stats. Plans
+  /// carry it so the executor can verify a cached plan runs against the
+  /// structure it was planned for.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   std::vector<std::int64_t> prefix_;  ///< prefix_[k] = nnz(I1..Ik)
   std::vector<std::int64_t> dims_;
   std::int64_t nnz_ = 0;
+  std::uint64_t fingerprint_ = 0;
   const CooTensor* coo_ = nullptr;  ///< non-owning; null for modeled stats
   mutable std::mutex proj_m_;  ///< guards proj_cache_
   mutable std::vector<std::pair<std::uint64_t, std::int64_t>> proj_cache_;

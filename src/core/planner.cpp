@@ -215,6 +215,7 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
           plan.dp_evaluations = search.dp_evaluations;
           plan.flops = path_flops(kernel, plan.path, stats);
           plan.buffer_dim_bound = bound;
+          plan.sparsity_fingerprint = stats.fingerprint();
           plan.tree = LoopTree::build(kernel, plan.path, plan.order);
           return plan;
         }

@@ -71,6 +71,12 @@ struct Plan {
   Cost cost;
   double flops = 0;            ///< estimated scalar operations
   int buffer_dim_bound = 0;    ///< bound in effect when planned
+  /// Structure fingerprint of the sparsity stats the plan was derived from
+  /// (SparsityStats::fingerprint()); 0 when planned from modeled stats.
+  /// The executor checks it against the CSF it is handed (see
+  /// FusedExecutor::execute), so a cached plan cannot silently run against
+  /// a structurally different tensor.
+  std::uint64_t sparsity_fingerprint = 0;
 
   // Search diagnostics.
   int paths_total = 0;          ///< enumerated contraction paths

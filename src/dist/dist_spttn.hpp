@@ -45,6 +45,9 @@ struct DistResult {
 /// Construction partitions the nonzeros (cheap, metadata only); run() plans
 /// once from the global sparsity statistics — SPMD ranks execute the same
 /// nest — then executes every rank's local problem and merges the partials.
+/// Planning goes through the process-wide KernelCache, so repeated runs
+/// over the same bound tensor (rank-count sweeps, iterative drivers) reuse
+/// one cached plan instead of re-searching per run.
 class DistSpttn {
  public:
   DistSpttn(const BoundKernel& bound, int ranks, CommParams params = {});

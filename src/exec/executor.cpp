@@ -65,6 +65,10 @@ struct FusedExecutor::Impl {
 
   bool collapse_dense = true;
 
+  /// Sparsity fingerprint of the plan this nest was compiled from; 0 when
+  /// built from a raw (path, order) pair or a plan with modeled stats.
+  std::uint64_t plan_fingerprint = 0;
+
   // --- Parallel-execution metadata (analyze_parallel, at compile time) ---
 
   /// Parallelizability of one top-level action.
@@ -169,6 +173,11 @@ FusedExecutor::FusedExecutor(const Kernel& kernel,
   impl_->tree = LoopTree::build(kernel, path, order);
   impl_->compile(order);
   impl_->analyze_parallel();
+}
+
+FusedExecutor::FusedExecutor(const Kernel& kernel, const Plan& plan)
+    : FusedExecutor(kernel, plan.path, plan.order) {
+  impl_->plan_fingerprint = plan.sparsity_fingerprint;
 }
 
 FusedExecutor::~FusedExecutor() = default;
@@ -646,6 +655,16 @@ void FusedExecutor::execute(const ExecArgs& args) {
     SPTTN_CHECK_MSG(csf.mode_order()[static_cast<std::size_t>(l)] == l,
                     "CSF must be built in the kernel's sparse index order");
   }
+  // Stale-stats guard: a plan derived from exact sparsity statistics may
+  // only execute against the structure it was planned for. Both sides are
+  // stored hashes, so the comparison is O(1); either side being 0 (raw
+  // (path, order) construction, modeled stats, default CSF) skips it.
+  SPTTN_CHECK_MSG(im.plan_fingerprint == 0 ||
+                      csf.structure_fingerprint() == 0 ||
+                      im.plan_fingerprint == csf.structure_fingerprint(),
+                  "sparsity fingerprint mismatch: the plan was derived from "
+                  "a structurally different tensor than the CSF being "
+                  "executed (stale cached plan?)");
   SPTTN_CHECK_MSG(static_cast<int>(args.dense.size()) == k.num_inputs(),
                   "expected one dense slot per kernel input");
   const int want_threads = std::max(1, args.num_threads);

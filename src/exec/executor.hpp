@@ -106,9 +106,15 @@ class FusedExecutor {
   FusedExecutor(const Kernel& kernel, const ContractionPath& path,
                 const LoopOrder& order, bool collapse_dense = true);
 
-  /// Convenience constructor from a planner result.
-  FusedExecutor(const Kernel& kernel, const Plan& plan)
-      : FusedExecutor(kernel, plan.path, plan.order) {}
+  /// Convenience constructor from a planner result. Records the plan's
+  /// sparsity fingerprint: execute() then verifies the CSF it is handed
+  /// matches the structure the plan was derived from (both fingerprints
+  /// non-zero and unequal => error), so a cached or reused plan cannot
+  /// silently run against a structurally different tensor. Use the
+  /// (path, order) constructor to opt out when running a plan against
+  /// other structures is intended (e.g. SPMD ranks executing a
+  /// globally-planned nest on local partitions).
+  FusedExecutor(const Kernel& kernel, const Plan& plan);
 
   ~FusedExecutor();
   FusedExecutor(FusedExecutor&&) noexcept;

@@ -4,19 +4,18 @@
 
 #include "core/enumerate.hpp"
 #include "core/order_dp.hpp"
+#include "serve/kernel_cache.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace spttn {
 
-BoundKernel bind(const std::string& expr, const CooTensor& sparse,
-                 std::vector<const DenseTensor*> dense_factors,
-                 const std::string& sparse_name) {
-  BoundKernel bound;
-  bound.kernel = Kernel::parse(expr, sparse_name);
-  Kernel& k = bound.kernel;
-  bound.coo = &sparse;
+Kernel bind_kernel_dims(const std::string& expr, const CooTensor& sparse,
+                        const std::vector<const DenseTensor*>& dense_factors,
+                        std::vector<const DenseTensor*>* slots,
+                        const std::string& sparse_name) {
+  Kernel k = Kernel::parse(expr, sparse_name);
 
   // Bind sparse dims.
   SPTTN_CHECK_MSG(sparse.order() == k.sparse_ref().order(),
@@ -26,7 +25,9 @@ BoundKernel bind(const std::string& expr, const CooTensor& sparse,
                     sparse.dim(l));
   }
   // Bind dense dims in order of appearance.
-  bound.dense.assign(static_cast<std::size_t>(k.num_inputs()), nullptr);
+  if (slots != nullptr) {
+    slots->assign(static_cast<std::size_t>(k.num_inputs()), nullptr);
+  }
   std::size_t next = 0;
   for (int i = 0; i < k.num_inputs(); ++i) {
     if (i == k.sparse_input()) continue;
@@ -40,12 +41,21 @@ BoundKernel bind(const std::string& expr, const CooTensor& sparse,
     for (int m = 0; m < ref.order(); ++m) {
       k.set_index_dim(ref.idx[static_cast<std::size_t>(m)], d->dim(m));
     }
-    bound.dense[static_cast<std::size_t>(i)] = d;
+    if (slots != nullptr) (*slots)[static_cast<std::size_t>(i)] = d;
   }
   SPTTN_CHECK_MSG(next == dense_factors.size(),
                   "more dense tensors than kernel inputs");
   SPTTN_CHECK_MSG(k.dims_bound(), "kernel has unbound indices");
+  return k;
+}
 
+BoundKernel bind(const std::string& expr, const CooTensor& sparse,
+                 std::vector<const DenseTensor*> dense_factors,
+                 const std::string& sparse_name) {
+  BoundKernel bound;
+  bound.kernel = bind_kernel_dims(expr, sparse, dense_factors, &bound.dense,
+                                  sparse_name);
+  bound.coo = &sparse;
   SPTTN_CHECK_MSG(sparse.is_sorted(), "sparse tensor must be sort_dedup()ed");
   bound.csf = CsfTensor(sparse);
   bound.stats = SparsityStats::from_coo(sparse);
@@ -158,7 +168,8 @@ CsfSearchResult search_csf_orders(const std::string& expr,
 
 AutotuneResult autotune_kernel(const BoundKernel& bound,
                                const PlannerOptions& options, int max_paths,
-                               int sampled, int reps, std::uint64_t seed) {
+                               int sampled, int reps, std::uint64_t seed,
+                               KernelCache* cache) {
   AutotuneResult result;
   const Kernel& kernel = bound.kernel;
   const auto paths = executable_paths(kernel, bound.stats);
@@ -231,6 +242,13 @@ AutotuneResult autotune_kernel(const BoundKernel& bound,
   SPTTN_CHECK_MSG(have, "autotuner found no runnable candidate");
   result.best.tree = LoopTree::build(kernel, result.best.path,
                                      result.best.order);
+  result.best.sparsity_fingerprint = bound.stats.fingerprint();
+  if (cache != nullptr) {
+    // Record the measured winner so cache-aware planning serves it from
+    // now on, even where the cost model would have chosen differently.
+    cache->put(make_signature(kernel, bound.stats, options), kernel,
+               result.best);
+  }
   return result;
 }
 

@@ -37,6 +37,16 @@ BoundKernel bind(const std::string& expr, const CooTensor& sparse,
                  std::vector<const DenseTensor*> dense_factors,
                  const std::string& sparse_name = "");
 
+/// Parse `expr` and bind index dimensions only (no CSF build, no stats):
+/// the piece of bind() shared with the serving layer, which binds many
+/// kernels against one already-built CSF of the same sparse tensor.
+/// `slots`, when non-null, receives one entry per kernel input (the sparse
+/// slot is null), ready for ExecArgs::dense.
+Kernel bind_kernel_dims(const std::string& expr, const CooTensor& sparse,
+                        const std::vector<const DenseTensor*>& dense_factors,
+                        std::vector<const DenseTensor*>* slots,
+                        const std::string& sparse_name = "");
+
 /// Plan with the paper's default metric (bounded buffer dim = 2 + most
 /// independent dense loops + fewest modeled cache misses).
 Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options = {});
@@ -84,7 +94,11 @@ std::string rewrite_expr_with_csf_order(const std::string& expr,
 /// Measurement-based autotuning (paper Section 4: "Enumeration enables
 /// autotuning"): time the DP-optimal and second-best loop nests of the
 /// cheapest executable paths plus `sampled` random orders, return the
-/// fastest.
+/// fastest. When `cache` is non-null the winner is recorded under the
+/// kernel's signature (replacing any model-chosen plan), so subsequent
+/// cache-aware planning and sessions over the same problem serve the
+/// measured-fastest nest.
+class KernelCache;
 struct AutotuneResult {
   Plan best;
   double best_seconds = 0;
@@ -93,6 +107,7 @@ struct AutotuneResult {
 AutotuneResult autotune_kernel(const BoundKernel& bound,
                                const PlannerOptions& options = {},
                                int max_paths = 3, int sampled = 4,
-                               int reps = 2, std::uint64_t seed = 1);
+                               int reps = 2, std::uint64_t seed = 1,
+                               KernelCache* cache = nullptr);
 
 }  // namespace spttn

@@ -1,0 +1,203 @@
+#include "serve/kernel_cache.hpp"
+
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace spttn {
+
+std::uint64_t KernelSignature::hash() const {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (char c : expr) h = hash_mix(h ^ static_cast<std::uint64_t>(c));
+  for (std::int64_t e : extents) {
+    h = hash_mix(h ^ static_cast<std::uint64_t>(e));
+  }
+  h = hash_mix(h ^ sparsity_fingerprint);
+  h = hash_mix(h ^ options_hash);
+  return h;
+}
+
+std::uint64_t planner_options_hash(const PlannerOptions& options) {
+  std::uint64_t h = 0xbe5466cf34e90c6cULL;
+  h = hash_mix(h ^ static_cast<std::uint64_t>(options.cost));
+  h = hash_mix(h ^ static_cast<std::uint64_t>(options.buffer_dim_bound));
+  h = hash_mix(h ^ (options.allow_bound_relaxation ? 1u : 0u));
+  h = hash_mix(h ^ (options.restrict_csf_order ? 2u : 0u));
+  std::uint64_t tol_bits = 0;
+  static_assert(sizeof(tol_bits) == sizeof(options.flop_group_tolerance));
+  std::memcpy(&tol_bits, &options.flop_group_tolerance, sizeof(tol_bits));
+  h = hash_mix(h ^ tol_bits);
+  h = hash_mix(h ^ static_cast<std::uint64_t>(options.cache_d));
+  h = hash_mix(h ^ (options.sparse_aware_cache ? 4u : 0u));
+  h = hash_mix(h ^ static_cast<std::uint64_t>(options.max_paths_searched));
+  // search_threads deliberately excluded: the parallel search returns a
+  // plan identical to the sequential one (see PlannerOptions docs), so it
+  // must not fragment the cache.
+  return h;
+}
+
+KernelSignature make_signature(const Kernel& kernel,
+                               const SparsityStats& stats,
+                               const PlannerOptions& options) {
+  SPTTN_CHECK_MSG(kernel.dims_bound(),
+                  "signature needs bound index dimensions");
+  KernelSignature sig;
+  sig.expr = kernel.to_string();
+  sig.extents.reserve(static_cast<std::size_t>(kernel.num_indices()));
+  for (int id = 0; id < kernel.num_indices(); ++id) {
+    sig.extents.push_back(kernel.index_dim(id));
+  }
+  sig.sparsity_fingerprint = stats.fingerprint();
+  sig.options_hash = planner_options_hash(options);
+  return sig;
+}
+
+namespace {
+
+struct SigHash {
+  std::size_t operator()(const KernelSignature& s) const {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace
+
+struct KernelCache::Impl {
+  mutable std::mutex m;
+  std::size_t capacity = 128;
+  /// MRU-first recency list of resident entries.
+  std::list<std::shared_ptr<const Entry>> lru;
+  std::unordered_map<KernelSignature,
+                     std::list<std::shared_ptr<const Entry>>::iterator,
+                     SigHash>
+      by_sig;
+  Counters counters;
+
+  /// Publish `entry`, evicting LRU victims beyond capacity. Returns the
+  /// resident entry for the signature (the existing one when a concurrent
+  /// planner already published it — first writer wins, the loser's work
+  /// is dropped rather than invalidating handed-out pointers).
+  std::shared_ptr<const Entry> publish(std::shared_ptr<const Entry> entry,
+                                       bool replace) {
+    std::lock_guard<std::mutex> lk(m);
+    const auto it = by_sig.find(entry->signature);
+    if (it != by_sig.end()) {
+      if (!replace) {
+        lru.splice(lru.begin(), lru, it->second);  // refresh recency
+        return *it->second;
+      }
+      lru.erase(it->second);
+      by_sig.erase(it);
+    }
+    lru.push_front(std::move(entry));
+    by_sig[lru.front()->signature] = lru.begin();
+    counters.inserts += 1;
+    while (lru.size() > capacity) {
+      by_sig.erase(lru.back()->signature);
+      lru.pop_back();
+      counters.evictions += 1;
+    }
+    return lru.front();
+  }
+};
+
+KernelCache::KernelCache(std::size_t capacity)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->capacity = capacity < 1 ? 1 : capacity;
+}
+
+KernelCache::~KernelCache() = default;
+
+std::shared_ptr<const KernelCache::Entry> KernelCache::lookup(
+    const KernelSignature& sig) {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  const auto it = impl_->by_sig.find(sig);
+  if (it == impl_->by_sig.end()) {
+    impl_->counters.misses += 1;
+    return nullptr;
+  }
+  impl_->counters.hits += 1;
+  impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  return *it->second;
+}
+
+std::shared_ptr<const KernelCache::Entry> KernelCache::get_or_plan(
+    const Kernel& kernel, const SparsityStats& stats,
+    const PlannerOptions& options, bool* was_cached) {
+  KernelSignature sig = make_signature(kernel, stats, options);
+  if (auto hit = lookup(sig)) {
+    if (was_cached != nullptr) *was_cached = true;
+    return hit;
+  }
+  if (was_cached != nullptr) *was_cached = false;
+  // Miss: plan and compile outside the lock so concurrent misses on
+  // different kernels search in parallel.
+  auto entry = std::make_shared<Entry>();
+  entry->signature = std::move(sig);
+  entry->kernel = kernel;
+  entry->plan = make_plan(kernel, stats, options);
+  entry->exec = std::make_shared<FusedExecutor>(kernel, entry->plan);
+  return impl_->publish(std::move(entry), /*replace=*/false);
+}
+
+std::shared_ptr<const KernelCache::Entry> KernelCache::get_or_plan(
+    const BoundKernel& bound, const PlannerOptions& options,
+    bool* was_cached) {
+  return get_or_plan(bound.kernel, bound.stats, options, was_cached);
+}
+
+std::shared_ptr<const KernelCache::Entry> KernelCache::put(
+    KernelSignature sig, const Kernel& kernel, Plan plan) {
+  auto entry = std::make_shared<Entry>();
+  entry->signature = std::move(sig);
+  entry->kernel = kernel;
+  entry->plan = std::move(plan);
+  entry->exec = std::make_shared<FusedExecutor>(kernel, entry->plan);
+  return impl_->publish(std::move(entry), /*replace=*/true);
+}
+
+KernelCache::Counters KernelCache::counters() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  Counters c = impl_->counters;
+  c.entries = impl_->lru.size();
+  return c;
+}
+
+std::size_t KernelCache::capacity() const { return impl_->capacity; }
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  impl_->lru.clear();
+  impl_->by_sig.clear();
+  impl_->counters = Counters{};
+}
+
+KernelCache& KernelCache::global() {
+  static KernelCache cache;
+  return cache;
+}
+
+Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options,
+                 KernelCache& cache) {
+  return cache.get_or_plan(bound, options)->plan;
+}
+
+void run_plan(const BoundKernel& bound, KernelCache& cache,
+              DenseTensor* out_dense, std::span<double> out_sparse,
+              int num_threads, const PlannerOptions& options) {
+  const auto entry = cache.get_or_plan(bound, options);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+  args.out_dense = out_dense;
+  args.out_sparse = out_sparse;
+  args.num_threads = num_threads;
+  entry->exec->execute(args);
+}
+
+}  // namespace spttn

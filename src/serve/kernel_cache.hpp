@@ -1,0 +1,141 @@
+// Plan/format cache — the search-once-execute-many half of the serving
+// layer (ROADMAP: caching / batching / heavy traffic).
+//
+// The paper's value proposition is that one planner search amortizes over
+// many executions of the same kernel. KernelCache makes that amortization
+// a process-wide property instead of a per-call-site discipline: it
+// memoizes the planner's result (Plan) together with the compiled loop
+// nest (FusedExecutor) under a canonical kernel signature — expression
+// structure, index extents, planner options, and an exact sparsity
+// fingerprint — so any consumer (sessions, the decomposition drivers, the
+// simulated distributed runtime, the autotuner) that binds a structurally
+// identical problem skips the path enumeration and order DP entirely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "exec/executor.hpp"
+#include "exec/spttn.hpp"
+
+namespace spttn {
+
+/// Canonical identity of a planned kernel. Two bound problems with equal
+/// signatures have identical planner inputs, so they share one Plan and
+/// one compiled executor.
+struct KernelSignature {
+  /// Canonical expression rendering (tensor names, index names, order).
+  std::string expr;
+  /// Dimension of every kernel index, in index-id order.
+  std::vector<std::int64_t> extents;
+  /// Exact sparsity-structure fingerprint (SparsityStats::fingerprint());
+  /// 0 for modeled stats — such signatures still cache, keyed on the
+  /// modeled prefix counts being absent, but never match an exact one.
+  std::uint64_t sparsity_fingerprint = 0;
+  /// Hash of the PlannerOptions fields that affect the chosen plan
+  /// (search_threads is excluded: the parallel search is plan-identical).
+  std::uint64_t options_hash = 0;
+
+  bool operator==(const KernelSignature&) const = default;
+
+  /// Combined hash for unordered containers.
+  std::uint64_t hash() const;
+};
+
+/// Signature of a bound kernel under the given planner options.
+KernelSignature make_signature(const Kernel& kernel,
+                               const SparsityStats& stats,
+                               const PlannerOptions& options);
+
+/// Hash of the plan-relevant PlannerOptions fields.
+std::uint64_t planner_options_hash(const PlannerOptions& options);
+
+/// Thread-safe LRU cache of planned kernels.
+///
+/// Entries are immutable once published and handed out as shared
+/// pointers, so a hit costs one mutex-guarded map probe; eviction can
+/// never invalidate an entry a caller still executes. The compiled
+/// FusedExecutor's program is immutable during execution (each execute()
+/// builds its own runtime state), so concurrent executions of one cached
+/// entry are safe — that is what lets many serving sessions share it.
+class KernelCache {
+ public:
+  /// One memoized planning result.
+  struct Entry {
+    KernelSignature signature;
+    Kernel kernel;  ///< dims bound; the shape the executor validates against
+    Plan plan;
+    /// Compiled nest; safe for concurrent execute() calls.
+    std::shared_ptr<FusedExecutor> exec;
+  };
+
+  /// Hit/miss/eviction counters for observability (bench_search --cache,
+  /// the serving example, and capacity tuning).
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+    std::size_t entries = 0;
+  };
+
+  /// `capacity` bounds the number of resident entries (LRU eviction);
+  /// at least 1.
+  explicit KernelCache(std::size_t capacity = 128);
+  ~KernelCache();
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  /// Probe without planning; null on miss. Counts a hit or a miss.
+  std::shared_ptr<const Entry> lookup(const KernelSignature& sig);
+
+  /// The workhorse: return the cached entry for (kernel, stats, options),
+  /// planning and compiling on a miss. Planning runs outside the cache
+  /// lock, so concurrent misses on different kernels search concurrently;
+  /// two racers on the same signature both plan and the loser adopts the
+  /// winner's published entry. `was_cached`, when non-null, reports
+  /// whether the entry was served without running the planner.
+  std::shared_ptr<const Entry> get_or_plan(const Kernel& kernel,
+                                           const SparsityStats& stats,
+                                           const PlannerOptions& options = {},
+                                           bool* was_cached = nullptr);
+  std::shared_ptr<const Entry> get_or_plan(const BoundKernel& bound,
+                                           const PlannerOptions& options = {},
+                                           bool* was_cached = nullptr);
+
+  /// Publish an externally produced plan (e.g. an autotuned winner) under
+  /// `sig`, compiling its executor; replaces any resident entry with the
+  /// same signature and returns the published entry.
+  std::shared_ptr<const Entry> put(KernelSignature sig, const Kernel& kernel,
+                                   Plan plan);
+
+  Counters counters() const;
+  std::size_t capacity() const;
+  void clear();
+
+  /// Process-wide cache shared by the convenience overloads
+  /// (spttn::plan_kernel/run_plan with a cache), the decomposition
+  /// drivers, and DistSpttn.
+  static KernelCache& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Cache-aware planning: fetch or compute the plan for `bound`.
+Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options,
+                 KernelCache& cache);
+
+/// Cache-aware execution: plan via `cache` (a hit skips the search) and run
+/// the cached compiled nest against the bound tensors. Semantics otherwise
+/// match run_plan(bound, plan, ...).
+void run_plan(const BoundKernel& bound, KernelCache& cache,
+              DenseTensor* out_dense, std::span<double> out_sparse,
+              int num_threads = 1, const PlannerOptions& options = {});
+
+}  // namespace spttn

@@ -1,6 +1,7 @@
 #include "tensor/coo_tensor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 #include <unordered_set>
 
@@ -78,18 +79,59 @@ std::int64_t CooTensor::nnz_prefix(int k) const {
 std::int64_t CooTensor::nnz_projection(std::span<const int> modes) const {
   if (modes.empty()) return nnz() > 0 ? 1 : 0;
   const int d = order();
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(static_cast<std::size_t>(nnz()) * 2);
-  for (std::int64_t e = 0; e < nnz(); ++e) {
-    const std::int64_t* c = coords_.data() + e * d;
-    std::uint64_t h = 0x243f6a8885a308d3ULL;
-    for (int m : modes) {
-      h = hash_mix(h ^ static_cast<std::uint64_t>(c[m]) ^
-                   (static_cast<std::uint64_t>(m) << 56));
-    }
-    seen.insert(h);
+  // Fast path: pack the projected coordinates into one 64-bit key. The keys
+  // are the coordinates themselves (mixed-radix), not hashes, so distinct
+  // projections can never collide.
+  int total_bits = 0;
+  for (int m : modes) {
+    total_bits += std::bit_width(static_cast<std::uint64_t>(dim(m) - 1));
   }
-  return static_cast<std::int64_t>(seen.size());
+  if (total_bits <= 64) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(static_cast<std::size_t>(nnz()) * 2);
+    for (std::int64_t e = 0; e < nnz(); ++e) {
+      const std::int64_t* c = coords_.data() + e * d;
+      std::uint64_t key = 0;
+      for (int m : modes) {
+        key = key * static_cast<std::uint64_t>(dim(m)) +
+              static_cast<std::uint64_t>(c[m]);
+      }
+      seen.insert(key);
+    }
+    return static_cast<std::int64_t>(seen.size());
+  }
+  // Huge-extent fallback: compare full coordinate tuples. Sort entry ids by
+  // projected coordinate and count runs — exact, deterministic, O(n log n).
+  const auto proj_less = [&](std::int64_t a, std::int64_t b) {
+    const std::int64_t* ca = coords_.data() + a * d;
+    const std::int64_t* cb = coords_.data() + b * d;
+    for (int m : modes) {
+      if (ca[m] != cb[m]) return ca[m] < cb[m];
+    }
+    return false;
+  };
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(nnz()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), proj_less);
+  std::int64_t count = 0;
+  for (std::size_t e = 0; e < perm.size(); ++e) {
+    if (e == 0 || proj_less(perm[e - 1], perm[e])) ++count;
+  }
+  return count;
+}
+
+std::uint64_t CooTensor::structure_hash() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = hash_mix(h ^ static_cast<std::uint64_t>(order()));
+  for (std::int64_t dsz : dims_) {
+    h = hash_mix(h ^ static_cast<std::uint64_t>(dsz));
+  }
+  h = hash_mix(h ^ static_cast<std::uint64_t>(nnz()));
+  for (std::int64_t c : coords_) {
+    h = hash_mix(h ^ static_cast<std::uint64_t>(c));
+  }
+  // Never 0: callers use 0 as "no fingerprint available".
+  return h == 0 ? 1 : h;
 }
 
 void CooTensor::fill_random_values(Rng& rng) {

@@ -60,9 +60,22 @@ class CooTensor {
   std::int64_t nnz_prefix(int k) const;
 
   /// Number of distinct projections onto an arbitrary subset of modes
-  /// (the generalized reduced-tensor nonzero count). Uses hashing; does not
-  /// require sortedness. `modes` lists mode positions in [0, order).
+  /// (the generalized reduced-tensor nonzero count). Exact: projected
+  /// coordinates are packed into 64-bit keys when the projected extents
+  /// fit, and compared as full tuples otherwise, so the count can never be
+  /// skewed by hash collisions. Does not require sortedness. `modes` lists
+  /// mode positions in [0, order).
   std::int64_t nnz_projection(std::span<const int> modes) const;
+
+  /// Fingerprint of the sparsity structure: dims, nnz, and every
+  /// coordinate in entry storage order (values excluded). Compare hashes
+  /// between sort_dedup()ed tensors only — sorting canonicalizes the
+  /// entry order, making the hash a pure function of the coordinate set.
+  /// Two sorted tensors with equal hashes share every planner-relevant
+  /// statistic, so plans and compiled executors keyed on it are safely
+  /// reusable across tensors that differ only in values (e.g. a residual
+  /// sharing a pattern).
+  std::uint64_t structure_hash() const;
 
   /// Replace values with i.i.d. uniform values in [-1, 1).
   void fill_random_values(Rng& rng);

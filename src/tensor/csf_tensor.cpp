@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace spttn {
 
@@ -91,6 +92,18 @@ CsfTensor::CsfTensor(const CooTensor& coo, std::vector<int> mode_order) {
   for (int l = 0; l + 1 < d; ++l) {
     ptr_[static_cast<std::size_t>(l)].push_back(
         static_cast<std::int64_t>(idx_[static_cast<std::size_t>(l + 1)].size()));
+  }
+
+  // Structure fingerprint: the identity order reproduces the source COO's
+  // structure_hash() exactly (so it can be compared against stats taken
+  // from the same tensor); a permuted order is mixed in because it yields
+  // a different tree.
+  fingerprint_ = coo.structure_hash();
+  if (!identity) {
+    for (int m : mode_order_) {
+      fingerprint_ = hash_mix(fingerprint_ ^ static_cast<std::uint64_t>(m));
+    }
+    if (fingerprint_ == 0) fingerprint_ = 1;
   }
 }
 

@@ -59,6 +59,15 @@ class CsfTensor {
   /// Test helper; round-trips with the constructor.
   CooTensor to_coo() const;
 
+  /// Fingerprint of the source tensor's sparsity structure (coordinates,
+  /// dims, nnz — values excluded), mixed with the mode order. Matches
+  /// SparsityStats::fingerprint() for stats taken from the same tensor
+  /// with the identity CSF order; 0 for a default-constructed CSF. The
+  /// executor compares it against the plan's recorded fingerprint so a
+  /// cached plan can never silently run against a structurally different
+  /// tensor.
+  std::uint64_t structure_fingerprint() const { return fingerprint_; }
+
   std::string describe() const;
 
  private:
@@ -67,6 +76,7 @@ class CsfTensor {
   std::vector<std::vector<std::int64_t>> idx_;
   std::vector<std::vector<std::int64_t>> ptr_;
   std::vector<double> vals_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace spttn

@@ -1,13 +1,32 @@
 #include "tensor/tns_io.hpp"
 
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace spttn {
+
+namespace {
+
+/// Whitespace-split a line into tokens (empty pieces dropped).
+std::vector<std::string_view> tokenize(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t' && s[j] != '\r') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
 
 CooTensor read_tns(std::istream& in, const std::vector<std::int64_t>& dims) {
   std::string line;
@@ -20,10 +39,7 @@ CooTensor read_tns(std::istream& in, const std::vector<std::int64_t>& dims) {
     ++line_no;
     const std::string_view trimmed = trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
-    std::istringstream ls{std::string(trimmed)};
-    std::vector<double> fields;
-    double v;
-    while (ls >> v) fields.push_back(v);
+    const std::vector<std::string_view> fields = tokenize(trimmed);
     SPTTN_CHECK_MSG(fields.size() >= 2,
                     "tns line " << line_no << ": need indices and a value");
     if (order < 0) {
@@ -38,18 +54,49 @@ CooTensor read_tns(std::istream& in, const std::vector<std::int64_t>& dims) {
                     "tns line " << line_no << ": inconsistent arity");
     std::vector<std::int64_t> c(static_cast<std::size_t>(order));
     for (int m = 0; m < order; ++m) {
-      const double f = fields[static_cast<std::size_t>(m)];
-      const auto idx = static_cast<std::int64_t>(f);
-      SPTTN_CHECK_MSG(static_cast<double>(idx) == f && idx >= 1,
-                      "tns line " << line_no << ": bad index " << f);
+      // Indices parse as integers, never through double: a double mantissa
+      // silently corrupts indices above 2^53, and a fractional field is a
+      // malformed file, not a value to truncate.
+      const std::string_view f = fields[static_cast<std::size_t>(m)];
+      std::int64_t idx = 0;
+      const auto [ptr, ec] =
+          std::from_chars(f.data(), f.data() + f.size(), idx);
+      SPTTN_CHECK_MSG(ec == std::errc{} && ptr == f.data() + f.size(),
+                      "tns line " << line_no << ": index field '" << f
+                                  << "' in mode " << m
+                                  << " is not an integer");
+      SPTTN_CHECK_MSG(idx >= 1, "tns line " << line_no << ": index " << idx
+                                            << " in mode " << m
+                                            << " must be >= 1");
+      // Out-of-range entries fail here, with the offending line, instead of
+      // deep inside CooTensor::push_back after parsing finished.
+      SPTTN_CHECK_MSG(
+          dims.empty() || idx <= dims[static_cast<std::size_t>(m)],
+          "tns line " << line_no << ": index " << idx << " in mode " << m
+                      << " exceeds dim " << dims[static_cast<std::size_t>(m)]);
       c[static_cast<std::size_t>(m)] = idx - 1;  // to 0-based
       maxima[static_cast<std::size_t>(m)] =
           std::max(maxima[static_cast<std::size_t>(m)], idx);
     }
+    const std::string vtok(fields.back());
+    char* vend = nullptr;
+    const double value = std::strtod(vtok.c_str(), &vend);
+    SPTTN_CHECK_MSG(vend == vtok.c_str() + vtok.size() && !vtok.empty(),
+                    "tns line " << line_no << ": value field '" << vtok
+                                << "' is not a number");
     coords.push_back(std::move(c));
-    values.push_back(fields.back());
+    values.push_back(value);
   }
-  SPTTN_CHECK_MSG(order > 0, "tns stream contains no entries");
+  if (order <= 0 && !dims.empty()) {
+    // An empty stream with explicit dims is a legitimate all-zero tensor
+    // (e.g. a filtered or rank-partitioned file with no local entries).
+    CooTensor empty(dims);
+    empty.sort_dedup();
+    return empty;
+  }
+  SPTTN_CHECK_MSG(order > 0,
+                  "tns stream contains no entries (pass explicit dims to "
+                  "accept an empty tensor)");
 
   std::vector<std::int64_t> shape = dims.empty() ? maxima : dims;
   CooTensor t(shape);

@@ -1,0 +1,459 @@
+// Serving-layer semantics: KernelCache keying (hit after identical bind,
+// miss on changed extents / sparsity fingerprint / options), bit-identical
+// cached-vs-fresh execution (sequential and threaded), LRU eviction, the
+// stale-stats fingerprint guard, Session behavior (prepare memoization,
+// value rewrites, sparse outputs), and concurrent submit() — the latter is
+// part of the TSan CI job's test list.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "serve/kernel_cache.hpp"
+#include "serve/session.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace spttn {
+namespace {
+
+using testing::Instance;
+using testing::KernelCase;
+using testing::ScopedLanes;
+using testing::make_instance;
+using testing::paper_kernels;
+
+const KernelCase& kernel_case(const std::string& name) {
+  static const std::vector<KernelCase> cases = paper_kernels();
+  for (const auto& kc : cases) {
+    if (kc.name == name) return kc;
+  }
+  SPTTN_CHECK_MSG(false, "unknown kernel case " << name);
+  return cases.front();
+}
+
+TEST(KernelSignature, EqualityAndHashTrackInputs) {
+  auto inst = make_instance(kernel_case("mttkrp3"), 11);
+  const PlannerOptions options;
+  const KernelSignature a =
+      make_signature(inst->bound.kernel, inst->bound.stats, options);
+  const KernelSignature b =
+      make_signature(inst->bound.kernel, inst->bound.stats, options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+
+  // Different planner options that change the plan => different signature.
+  PlannerOptions other = options;
+  other.buffer_dim_bound = 3;
+  const KernelSignature c =
+      make_signature(inst->bound.kernel, inst->bound.stats, other);
+  EXPECT_NE(a, c);
+
+  // search_threads must NOT fragment the cache (plan-identical by spec).
+  PlannerOptions threaded = options;
+  threaded.search_threads = 4;
+  EXPECT_EQ(a, make_signature(inst->bound.kernel, inst->bound.stats,
+                              threaded));
+}
+
+TEST(KernelCache, HitAfterIdenticalBind) {
+  auto inst = make_instance(kernel_case("mttkrp3"), 12);
+  KernelCache cache;
+  bool was_cached = true;
+  const auto first = cache.get_or_plan(inst->bound, {}, &was_cached);
+  EXPECT_FALSE(was_cached);
+
+  // Re-bind the same tensors from scratch: same structure, same signature.
+  std::vector<const DenseTensor*> ptrs;
+  for (const auto& f : inst->factors) ptrs.push_back(&f);
+  const BoundKernel rebound =
+      spttn::bind(kernel_case("mttkrp3").expr, inst->sparse, ptrs);
+  const auto second = cache.get_or_plan(rebound, {}, &was_cached);
+  EXPECT_TRUE(was_cached);
+  EXPECT_EQ(first.get(), second.get());  // the same resident entry
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(KernelCache, MissOnChangedExtents) {
+  const KernelCase& kc = kernel_case("mttkrp3");
+  auto inst = make_instance(kc, 13);
+  KernelCache cache;
+  (void)cache.get_or_plan(inst->bound);
+
+  // Same expression and sparse tensor, wider rank r: extents differ.
+  Rng rng(99);
+  std::vector<DenseTensor> wide;
+  Kernel k = Kernel::parse(kc.expr);
+  for (int i = 0; i < k.num_inputs(); ++i) {
+    if (i == k.sparse_input()) continue;
+    std::vector<std::int64_t> dims;
+    for (int id : k.input(i).idx) {
+      const std::string& n = k.index_name(id);
+      dims.push_back(n == "r" ? 7 : kc.dim_of(n));
+    }
+    wide.push_back(random_dense(dims, rng));
+  }
+  std::vector<const DenseTensor*> ptrs;
+  for (const auto& f : wide) ptrs.push_back(&f);
+  const BoundKernel rebound = spttn::bind(kc.expr, inst->sparse, ptrs);
+  bool was_cached = true;
+  (void)cache.get_or_plan(rebound, {}, &was_cached);
+  EXPECT_FALSE(was_cached);
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(KernelCache, MissOnChangedSparsityFingerprint) {
+  const KernelCase& kc = kernel_case("mttkrp3");
+  auto inst = make_instance(kc, 14);
+  KernelCache cache;
+  (void)cache.get_or_plan(inst->bound);
+
+  // Same dims and nnz, one coordinate moved: structure differs.
+  CooTensor moved(inst->sparse.dims());
+  for (std::int64_t e = 0; e < inst->sparse.nnz(); ++e) {
+    auto c = std::vector<std::int64_t>(inst->sparse.coord(e).begin(),
+                                       inst->sparse.coord(e).end());
+    if (e == 0) c[0] = (c[0] + 1) % inst->sparse.dim(0);
+    moved.push_back(c, inst->sparse.value(e));
+  }
+  moved.sort_dedup();
+  if (moved.nnz() != inst->sparse.nnz()) {
+    GTEST_SKIP() << "coordinate move collided; structure not comparable";
+  }
+  std::vector<const DenseTensor*> ptrs;
+  for (const auto& f : inst->factors) ptrs.push_back(&f);
+  const BoundKernel rebound = spttn::bind(kc.expr, moved, ptrs);
+  bool was_cached = true;
+  (void)cache.get_or_plan(rebound, {}, &was_cached);
+  EXPECT_FALSE(was_cached);
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(KernelCache, CachedExecutionBitIdenticalToFresh) {
+  // Sequential and threaded: the cached compiled nest must reproduce a
+  // freshly planned execution bit for bit.
+  for (const char* name : {"mttkrp3", "ttmc3", "tttp3"}) {
+    auto inst = make_instance(kernel_case(name), 15);
+    const bool sparse_out = inst->bound.kernel.output_is_sparse();
+
+    DenseTensor fresh_dense, cached_dense, threaded_dense;
+    std::vector<double> fresh_sparse, cached_sparse, threaded_sparse;
+    if (sparse_out) {
+      fresh_sparse.assign(static_cast<std::size_t>(inst->sparse.nnz()), 0.0);
+      cached_sparse = threaded_sparse = fresh_sparse;
+    } else {
+      fresh_dense = make_output(inst->bound);
+      cached_dense = make_output(inst->bound);
+      threaded_dense = make_output(inst->bound);
+    }
+
+    const Plan fresh_plan = plan_kernel(inst->bound);
+    run_plan(inst->bound, fresh_plan, sparse_out ? nullptr : &fresh_dense,
+             fresh_sparse);
+
+    KernelCache cache;
+    run_plan(inst->bound, cache, sparse_out ? nullptr : &cached_dense,
+             cached_sparse);
+    ASSERT_EQ(cache.counters().misses, 1u);
+    {
+      ScopedLanes lanes(4);
+      run_plan(inst->bound, cache, sparse_out ? nullptr : &threaded_dense,
+               threaded_sparse, /*num_threads=*/4);
+    }
+    EXPECT_GE(cache.counters().hits, 1u) << name;
+
+    if (sparse_out) {
+      for (std::size_t e = 0; e < fresh_sparse.size(); ++e) {
+        ASSERT_EQ(std::memcmp(&fresh_sparse[e], &cached_sparse[e],
+                              sizeof(double)), 0)
+            << name << " entry " << e;
+        ASSERT_EQ(std::memcmp(&fresh_sparse[e], &threaded_sparse[e],
+                              sizeof(double)), 0)
+            << name << " entry " << e << " (threaded)";
+      }
+    } else {
+      for (std::int64_t i = 0; i < fresh_dense.size(); ++i) {
+        ASSERT_EQ(std::memcmp(&fresh_dense.data()[i],
+                              &cached_dense.data()[i], sizeof(double)), 0)
+            << name << " elem " << i;
+        ASSERT_EQ(std::memcmp(&fresh_dense.data()[i],
+                              &threaded_dense.data()[i], sizeof(double)), 0)
+            << name << " elem " << i << " (threaded)";
+      }
+    }
+  }
+}
+
+TEST(KernelCache, LruEvictionAtCapacity) {
+  auto a = make_instance(kernel_case("mttkrp3"), 16);
+  auto b = make_instance(kernel_case("ttmc3"), 17);
+  auto c = make_instance(kernel_case("tttp3"), 18);
+  KernelCache cache(/*capacity=*/2);
+  (void)cache.get_or_plan(a->bound);
+  (void)cache.get_or_plan(b->bound);
+  (void)cache.get_or_plan(a->bound);  // refresh a => b is LRU
+  (void)cache.get_or_plan(c->bound);  // evicts b
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.entries, 2u);
+  bool was_cached = false;
+  (void)cache.get_or_plan(a->bound, {}, &was_cached);
+  EXPECT_TRUE(was_cached);
+  (void)cache.get_or_plan(b->bound, {}, &was_cached);
+  EXPECT_FALSE(was_cached);  // b was evicted and re-plans
+}
+
+TEST(KernelCache, AutotuneRecordsWinner) {
+  auto inst = make_instance(kernel_case("mttkrp3"), 19);
+  KernelCache cache;
+  const AutotuneResult tuned = autotune_kernel(
+      inst->bound, {}, /*max_paths=*/2, /*sampled=*/2, /*reps=*/1,
+      /*seed=*/5, &cache);
+  // The tuned winner is resident: cache-aware planning serves it verbatim.
+  bool was_cached = false;
+  const auto entry = cache.get_or_plan(inst->bound, {}, &was_cached);
+  EXPECT_TRUE(was_cached);
+  EXPECT_EQ(entry->plan.path, tuned.best.path);
+  EXPECT_EQ(entry->plan.order, tuned.best.order);
+}
+
+TEST(FusedExecutor, FingerprintGuardRejectsForeignStructure) {
+  const KernelCase& kc = kernel_case("mttkrp3");
+  auto inst = make_instance(kc, 20);
+  // Structurally different tensor of the same shape.
+  auto other = make_instance(kc, 21);
+  ASSERT_NE(inst->sparse.structure_hash(), other->sparse.structure_hash());
+
+  const Plan plan = plan_kernel(inst->bound);
+  ASSERT_NE(plan.sparsity_fingerprint, 0u);
+  // Executing the plan against the tensor it was planned for is fine...
+  DenseTensor out = make_output(inst->bound);
+  run_plan(inst->bound, plan, &out, {});
+  // ...but against a structurally different CSF the guard must fire.
+  EXPECT_THROW(run_plan(other->bound, plan, &out, {}), Error);
+
+  // The raw (path, order) constructor opts out (documented escape hatch
+  // for SPMD ranks running a global plan on local partitions).
+  FusedExecutor raw(inst->bound.kernel, plan.path, plan.order);
+  ExecArgs args;
+  args.sparse = &other->bound.csf;
+  args.dense = other->bound.dense;
+  args.out_dense = &out;
+  EXPECT_NO_THROW(raw.execute(args));
+}
+
+TEST(Session, PrepareMemoizesAndServesFamily) {
+  // Order-3 CP-ALS family through one session: three kernels, three
+  // misses, then every re-prepare (same or new session) hits.
+  Rng rng(31);
+  const CooTensor t = random_coo({12, 11, 10}, 80, rng);
+  const DenseTensor u0 = random_dense({12, 5}, rng);
+  const DenseTensor u1 = random_dense({11, 5}, rng);
+  const DenseTensor u2 = random_dense({10, 5}, rng);
+
+  KernelCache cache;
+  Session session(t, {}, &cache);
+  const int m0 = session.prepare("M0(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)",
+                                 {&u1, &u2});
+  const int m1 = session.prepare("M1(j,r) = T(i,j,k)*U0(i,r)*U2(k,r)",
+                                 {&u0, &u2});
+  EXPECT_NE(m0, m1);
+  EXPECT_FALSE(session.plan_was_cached(m0));
+  // Same expression again: memoized id, no new cache traffic.
+  EXPECT_EQ(session.prepare("M0(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)", {&u1, &u2}),
+            m0);
+  EXPECT_EQ(session.num_kernels(), 2);
+  EXPECT_EQ(cache.counters().misses, 2u);
+
+  // A second session over the same tensor: pure hits.
+  Session again(t, {}, &cache);
+  const int h0 = again.prepare("M0(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)",
+                               {&u1, &u2});
+  EXPECT_TRUE(again.plan_was_cached(h0));
+
+  // Outputs agree with the one-shot API bit for bit.
+  DenseTensor via_session = session.make_output(m0);
+  session.run(m0, &via_session);
+  const BoundKernel bound =
+      spttn::bind("M0(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)", t, {&u1, &u2});
+  DenseTensor via_bind = make_output(bound);
+  run_plan(bound, plan_kernel(bound), &via_bind, {});
+  for (std::int64_t i = 0; i < via_bind.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&via_bind.data()[i], &via_session.data()[i],
+                          sizeof(double)), 0);
+  }
+}
+
+TEST(Session, ValueRewritesReusePlans) {
+  // TTTP through a session, then rewrite the sparse values in place: the
+  // cached plan must keep serving (structure unchanged) and produce the
+  // values a fresh bind over the rewritten tensor would.
+  Rng rng(33);
+  CooTensor t = random_coo({9, 8, 7}, 60, rng);
+  const DenseTensor u = random_dense({9, 4}, rng);
+  const DenseTensor v = random_dense({8, 4}, rng);
+  const DenseTensor w = random_dense({7, 4}, rng);
+  const std::string expr = "S(i,j,k) = T(i,j,k)*U(i,r)*V(j,r)*W(k,r)";
+
+  KernelCache cache;
+  Session session(t, {}, &cache);
+  const int id = session.prepare(expr, {&u, &v, &w});
+  std::vector<double> out(static_cast<std::size_t>(t.nnz()), 0.0);
+  session.run(id, nullptr, out);
+
+  auto vals = session.values();
+  for (auto& x : vals) x *= -2.0;
+  std::vector<double> rewritten(static_cast<std::size_t>(t.nnz()), 0.0);
+  session.run(id, nullptr, rewritten);
+  for (std::size_t e = 0; e < out.size(); ++e) {
+    ASSERT_DOUBLE_EQ(rewritten[e], -2.0 * out[e]);
+  }
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(Session, SubmitReturnsWaitableHandles) {
+  ScopedLanes lanes(4);
+  Rng rng(35);
+  const CooTensor t = random_coo({14, 12, 10}, 120, rng);
+  const DenseTensor u0 = random_dense({14, 6}, rng);
+  const DenseTensor u1 = random_dense({12, 6}, rng);
+  const DenseTensor u2 = random_dense({10, 6}, rng);
+
+  KernelCache cache;
+  Session session(t, {}, &cache);
+  const std::vector<std::string> exprs = {
+      "M0(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)",
+      "M1(j,r) = T(i,j,k)*U0(i,r)*U2(k,r)",
+      "M2(k,r) = T(i,j,k)*U0(i,r)*U1(j,r)"};
+  const std::vector<std::vector<const DenseTensor*>> slots = {
+      {&u1, &u2}, {&u0, &u2}, {&u0, &u1}};
+  std::vector<int> ids;
+  std::vector<DenseTensor> expected, got;
+  for (std::size_t m = 0; m < exprs.size(); ++m) {
+    ids.push_back(session.prepare(exprs[m], slots[m]));
+    expected.push_back(session.make_output(ids.back()));
+    session.run(ids.back(), &expected.back());
+    got.push_back(session.make_output(ids.back()));
+  }
+
+  std::vector<TaskHandle> handles;
+  for (std::size_t m = 0; m < exprs.size(); ++m) {
+    handles.push_back(session.submit(ids[m], &got[m]));
+  }
+  for (auto& h : handles) h.wait();
+  for (std::size_t m = 0; m < exprs.size(); ++m) {
+    for (std::int64_t i = 0; i < expected[m].size(); ++i) {
+      ASSERT_EQ(std::memcmp(&expected[m].data()[i], &got[m].data()[i],
+                            sizeof(double)), 0)
+          << "kernel " << m << " elem " << i;
+    }
+  }
+  EXPECT_THROW(session.submit(99, &got[0]), Error);
+}
+
+TEST(Session, SubmittedWorkSurvivesSessionDestruction) {
+  // A queued request captures the session's shared bound state, so the
+  // Session object may die (and its handle still complete correctly) with
+  // submissions in flight.
+  ScopedLanes lanes(2);
+  Rng rng(36);
+  const CooTensor t = random_coo({10, 9, 8}, 70, rng);
+  const DenseTensor u1 = random_dense({9, 4}, rng);
+  const DenseTensor u2 = random_dense({8, 4}, rng);
+
+  KernelCache cache;
+  DenseTensor expected;
+  std::vector<DenseTensor> outs;
+  std::vector<TaskHandle> handles;
+  {
+    Session session(t, {}, &cache);
+    const int id = session.prepare("M(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)",
+                                   {&u1, &u2});
+    expected = session.make_output(id);
+    session.run(id, &expected);
+    for (int q = 0; q < 16; ++q) outs.push_back(session.make_output(id));
+    for (int q = 0; q < 16; ++q) {
+      handles.push_back(session.submit(id, &outs[static_cast<std::size_t>(q)]));
+    }
+  }  // session destroyed; queued tasks keep the bound state alive
+  for (auto& h : handles) h.wait();
+  for (const DenseTensor& got : outs) {
+    for (std::int64_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(std::memcmp(&expected.data()[i], &got.data()[i],
+                            sizeof(double)), 0);
+    }
+  }
+}
+
+TEST(Session, ConcurrentSubmitFromManyThreads) {
+  // The TSan target: several client threads submit against one session
+  // (shared cached executor, shared CSF) and verify their private outputs.
+  ScopedLanes lanes(4);
+  Rng rng(37);
+  const CooTensor t = random_coo({16, 14, 12}, 200, rng);
+  const DenseTensor u1 = random_dense({14, 5}, rng);
+  const DenseTensor u2 = random_dense({12, 5}, rng);
+
+  KernelCache cache;
+  Session session(t, {}, &cache);
+  const int id = session.prepare("M(i,r) = T(i,j,k)*U1(j,r)*U2(k,r)",
+                                 {&u1, &u2});
+  DenseTensor expected = session.make_output(id);
+  session.run(id, &expected);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < kRequests; ++q) {
+        DenseTensor out = session.make_output(id);
+        TaskHandle h = session.submit(id, &out);
+        h.wait();
+        for (std::int64_t i = 0; i < expected.size(); ++i) {
+          if (std::memcmp(&expected.data()[i], &out.data()[i],
+                          sizeof(double)) != 0) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.counters().misses, 1u);
+}
+
+TEST(KernelCache, ConcurrentGetOrPlanRaces) {
+  // Concurrent misses on the same signature: both racers plan, one entry
+  // wins, everyone gets a usable (and identical) plan.
+  auto inst = make_instance(kernel_case("ttmc3"), 41);
+  KernelCache cache;
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<const KernelCache::Entry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      entries[static_cast<std::size_t>(i)] = cache.get_or_plan(inst->bound);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.counters().entries, 1u);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(entries[0]->plan.path,
+              entries[static_cast<std::size_t>(i)]->plan.path);
+    EXPECT_EQ(entries[0]->plan.order,
+              entries[static_cast<std::size_t>(i)]->plan.order);
+  }
+}
+
+}  // namespace
+}  // namespace spttn

@@ -95,6 +95,114 @@ TEST(CooTensor, ProjectionCounts) {
   EXPECT_EQ(t.nnz_projection(std::vector<int>{}), 1);
 }
 
+// Regression for the hash-only distinct-count bug: nnz_projection used to
+// store 64-bit *hashes* of the projected coordinates, so collisions could
+// silently undercount projections and skew every cost-model decision.
+// Exact counting must survive adversarial coordinates: huge extents that
+// overflow the packed-key fast path, values differing only in high bits,
+// and bit patterns that weak mixers fold together.
+TEST(CooTensor, ProjectionCountExactOnCollisionProneInput) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  CooTensor t({big, big, big});  // 3*40 bits > 64: exercises the fallback
+  // Coordinates differing only in high bits / by 2^32 multiples; several
+  // entries share projections onto subsets of modes.
+  const std::vector<std::vector<std::int64_t>> coords = {
+      {0, 0, 0},
+      {std::int64_t{1} << 32, 0, 0},
+      {std::int64_t{1} << 33, 0, 0},
+      {0, std::int64_t{1} << 32, 0},
+      {0, 0, std::int64_t{1} << 32},
+      {(std::int64_t{1} << 32) + 1, 1, 1},
+      {(std::int64_t{1} << 32) + 1, 1, 2},
+      {1, (std::int64_t{1} << 32) + 1, 1},
+      {big - 1, big - 1, big - 1},
+      {big - 1, big - 1, big - 2},
+  };
+  for (std::size_t e = 0; e < coords.size(); ++e) {
+    t.push_back(coords[e], static_cast<double>(e) + 1.0);
+  }
+  // Brute-force cross-check on every non-empty mode subset.
+  for (int mask = 1; mask < 8; ++mask) {
+    std::vector<int> modes;
+    for (int m = 0; m < 3; ++m) {
+      if ((mask >> m) & 1) modes.push_back(m);
+    }
+    std::set<std::vector<std::int64_t>> brute;
+    for (const auto& c : coords) {
+      std::vector<std::int64_t> p;
+      for (int m : modes) p.push_back(c[static_cast<std::size_t>(m)]);
+      brute.insert(std::move(p));
+    }
+    EXPECT_EQ(t.nnz_projection(modes),
+              static_cast<std::int64_t>(brute.size()))
+        << "mode mask " << mask;
+  }
+}
+
+TEST(CooTensor, ProjectionCountExactRandomizedVsBruteForce) {
+  Rng rng(17);
+  // Small extents take the packed fast path; the wide tensor below forces
+  // the tuple fallback. Both must agree with a std::set of tuples.
+  for (const std::vector<std::int64_t> dims :
+       {std::vector<std::int64_t>{9, 8, 7, 6},
+        std::vector<std::int64_t>{std::int64_t{1} << 40,
+                                  std::int64_t{1} << 40,
+                                  std::int64_t{1} << 40, 6}}) {
+    CooTensor t(dims);
+    for (int e = 0; e < 200; ++e) {
+      std::vector<std::int64_t> c;
+      for (std::int64_t d : dims) {
+        // Cluster values so projections genuinely collide across entries.
+        c.push_back(rng.next_in(0, std::min<std::int64_t>(d - 1, 3)) *
+                    std::max<std::int64_t>(1, d / 5));
+      }
+      t.push_back(c, 1.0);
+    }
+    for (const std::vector<int>& modes :
+         {std::vector<int>{0}, std::vector<int>{1, 3}, std::vector<int>{0, 2},
+          std::vector<int>{0, 1, 2, 3}}) {
+      std::set<std::vector<std::int64_t>> brute;
+      for (std::int64_t e = 0; e < t.nnz(); ++e) {
+        std::vector<std::int64_t> p;
+        for (int m : modes) p.push_back(t.coord(e)[static_cast<std::size_t>(m)]);
+        brute.insert(std::move(p));
+      }
+      EXPECT_EQ(t.nnz_projection(modes),
+                static_cast<std::int64_t>(brute.size()));
+    }
+  }
+}
+
+TEST(CooTensor, StructureHashIgnoresValuesTracksStructure) {
+  Rng rng(23);
+  CooTensor a = random_coo({6, 7, 8}, 50, rng);
+  CooTensor b = a;
+  for (double& v : b.values()) v *= 3.5;  // same structure, new values
+  EXPECT_EQ(a.structure_hash(), b.structure_hash());
+  EXPECT_NE(a.structure_hash(), 0u);
+
+  // Any structural difference — one coordinate, dims, or nnz — changes it.
+  CooTensor c({6, 7, 8});
+  for (std::int64_t e = 0; e < a.nnz(); ++e) c.push_back(a.coord(e), 1.0);
+  c.sort_dedup();
+  EXPECT_EQ(a.structure_hash(), c.structure_hash());
+  CooTensor d({6, 7, 9});
+  for (std::int64_t e = 0; e < a.nnz(); ++e) d.push_back(a.coord(e), 1.0);
+  d.sort_dedup();
+  EXPECT_NE(a.structure_hash(), d.structure_hash());
+}
+
+TEST(CsfTensor, StructureFingerprintMatchesSourceCoo) {
+  Rng rng(29);
+  const CooTensor t = random_coo({9, 9, 9}, 70, rng);
+  const CsfTensor csf(t);
+  EXPECT_EQ(csf.structure_fingerprint(), t.structure_hash());
+  // A permuted CSF is a different tree: different fingerprint.
+  const CsfTensor permuted(t, {2, 0, 1});
+  EXPECT_NE(permuted.structure_fingerprint(), t.structure_hash());
+  EXPECT_EQ(CsfTensor().structure_fingerprint(), 0u);
+}
+
 TEST(CooTensor, PrefixRequiresSorted) {
   CooTensor t({3, 3});
   t.push_back({0, 0}, 1.0);

@@ -35,6 +35,83 @@ TEST(TnsIo, ExplicitDimsValidate) {
   EXPECT_THROW(read_tns(bad, {5, 6}), Error);
 }
 
+TEST(TnsIo, OutOfDimsReportsLineAndMode) {
+  // The offending line number and mode must be in the message — failing
+  // deep inside CooTensor::push_back after parsing lost that context.
+  std::istringstream in(
+      "# header\n"
+      "1 1 2.0\n"
+      "2 9 3.0\n");
+  try {
+    read_tns(in, {5, 6});
+    FAIL() << "expected out-of-dims error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("mode 1"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("exceeds dim 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TnsIo, NonIntegerIndexReportsLine) {
+  for (const char* field : {"1.5", "2e3", "7x", "nan"}) {
+    std::istringstream in(std::string("1 1 1.0\n") + field + " 1 1.0\n");
+    try {
+      read_tns(in);
+      FAIL() << "expected non-integer index error for '" << field << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("not an integer"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TnsIo, EmptyStreamWithDimsYieldsEmptyTensor) {
+  std::istringstream in("# a filtered partition may hold no local entries\n");
+  const CooTensor t = read_tns(in, {4, 5, 6});
+  EXPECT_EQ(t.dims(), (std::vector<std::int64_t>{4, 5, 6}));
+  EXPECT_EQ(t.nnz(), 0);
+  EXPECT_TRUE(t.is_sorted());
+  // Without dims there is nothing to size the tensor by: still an error.
+  std::istringstream bare("# only comments\n");
+  EXPECT_THROW(read_tns(bare), Error);
+}
+
+TEST(TnsIo, HugeIndicesRoundTripExactly) {
+  // Indices above 2^53 corrupt silently when routed through double; the
+  // integer parse must keep them exact.
+  const std::int64_t big = (std::int64_t{1} << 62) + 12345;
+  CooTensor t({big + 1, 3});
+  t.push_back({big, 2}, 1.25);
+  t.push_back({big - 1, 0}, -2.5);
+  t.sort_dedup();
+  std::stringstream buf;
+  write_tns(buf, t);
+  const CooTensor back = read_tns(buf, t.dims());
+  ASSERT_EQ(back.nnz(), 2);
+  EXPECT_EQ(back.coord(1)[0], big);
+  EXPECT_EQ(back.coord(0)[0], big - 1);
+  EXPECT_DOUBLE_EQ(back.value(1), 1.25);
+}
+
+TEST(TnsIo, BadValueFieldReportsLine) {
+  std::istringstream in("1 1 1.0\n1 2 abc\n");
+  try {
+    read_tns(in);
+    FAIL() << "expected bad-value error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("not a number"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(TnsIo, DuplicatesAreSummed) {
   std::istringstream in("1 1 2.0\n1 1 3.0\n");
   const CooTensor t = read_tns(in);
