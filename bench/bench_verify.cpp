@@ -1,0 +1,103 @@
+// Verifier overhead: planning time with and without the static plan
+// verifier (PlannerOptions::verify) across the paper kernel suite, plus the
+// isolated cost of one verification pass. Persists machine-readable rows to
+// BENCH_verify.json (--json=path) so the perf trajectory of the verifier is
+// diffable across PRs — the first of the BENCH_*.json series.
+#include <fstream>
+
+#include "analysis/kernel_suite.hpp"
+#include "analysis/plan_verifier.hpp"
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+using namespace spttn;
+using namespace spttn::bench;
+
+namespace {
+
+struct Row {
+  std::string kernel;
+  double plan_ms = 0;         ///< make_plan, verification off
+  double plan_verify_ms = 0;  ///< make_plan with options.verify
+  double verify_ms = 0;       ///< one PlanVerifier::verify pass
+  double overhead_pct = 0;    ///< (plan_verify - plan) / plan
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("bench_verify");
+  const std::int64_t* reps = cli.add_int("reps", 20, "timing repetitions");
+  const std::int64_t* seed = cli.add_int("seed", 42, "random tensor seed");
+  const std::string* json =
+      cli.add_string("json", "BENCH_verify.json",
+                     "output path for machine-readable rows ('' = skip)");
+  cli.parse(argc, argv);
+
+  Table table("Static plan verification overhead (paper kernel suite)");
+  table.set_header({"kernel", "plan[ms]", "plan+verify[ms]", "verify[ms]",
+                    "overhead"});
+
+  std::vector<Row> rows;
+  for (const SuiteKernel& sk : paper_kernel_suite()) {
+    const auto inst =
+        make_suite_instance(sk, static_cast<std::uint64_t>(*seed));
+    const Kernel& kernel = inst->bound.kernel;
+    const SparsityStats& stats = inst->bound.stats;
+
+    Row row;
+    row.kernel = sk.name;
+    PlannerOptions off;
+    off.verify = false;
+    row.plan_ms =
+        time_median([&] { (void)make_plan(kernel, stats, off); },
+                    static_cast<int>(*reps)) *
+        1e3;
+    PlannerOptions on;
+    on.verify = true;
+    row.plan_verify_ms =
+        time_median([&] { (void)make_plan(kernel, stats, on); },
+                    static_cast<int>(*reps)) *
+        1e3;
+    const Plan plan = make_plan(kernel, stats, off);
+    const PlanVerifier verifier(kernel, off, &stats);
+    row.verify_ms =
+        time_median([&] { (void)verifier.verify(plan); },
+                    static_cast<int>(*reps)) *
+        1e3;
+    // In Debug builds make_plan always verifies, so the A/B delta is ~0
+    // there; the isolated verify column is the honest number either way.
+    row.overhead_pct =
+        row.plan_ms > 0
+            ? 100.0 * (row.plan_verify_ms - row.plan_ms) / row.plan_ms
+            : 0.0;
+    rows.push_back(row);
+
+    table.add_row({row.kernel, strfmt("%.3f", row.plan_ms),
+                   strfmt("%.3f", row.plan_verify_ms),
+                   strfmt("%.3f", row.verify_ms),
+                   strfmt("%+.1f%%", row.overhead_pct)});
+  }
+  table.add_note("verify[ms] is one isolated PlanVerifier::verify pass; the "
+                 "plan columns are full make_plan searches.");
+  table.print(std::cout);
+
+  if (!json->empty()) {
+    std::ofstream os(*json);
+    os << "{\n  \"bench\": \"bench_verify\",\n  \"unit\": \"ms\",\n"
+       << "  \"reps\": " << *reps << ",\n  \"seed\": " << *seed
+       << ",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      os << "    {\"kernel\": \"" << r.kernel << "\", \"plan_ms\": "
+         << strfmt("%.4f", r.plan_ms) << ", \"plan_verify_ms\": "
+         << strfmt("%.4f", r.plan_verify_ms) << ", \"verify_ms\": "
+         << strfmt("%.4f", r.verify_ms) << ", \"overhead_pct\": "
+         << strfmt("%.2f", r.overhead_pct) << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}

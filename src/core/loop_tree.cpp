@@ -17,6 +17,15 @@ struct Piece {
 
 }  // namespace
 
+LoopTree LoopTree::assemble(std::vector<Node> nodes, std::vector<Action> top,
+                            std::vector<BufferSpec> buffers) {
+  LoopTree t;
+  t.nodes_ = std::move(nodes);
+  t.top_ = std::move(top);
+  t.buffers_ = std::move(buffers);
+  return t;
+}
+
 LoopTree LoopTree::build(const Kernel& kernel, const ContractionPath& path,
                          const LoopOrder& order) {
   SPTTN_CHECK_MSG(is_valid_order(path, order),

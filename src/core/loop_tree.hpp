@@ -55,6 +55,13 @@ class LoopTree {
   static LoopTree build(const Kernel& kernel, const ContractionPath& path,
                         const LoopOrder& order);
 
+  /// Assemble a tree from raw parts without any inference or validation.
+  /// Callers own the invariants; PlanVerifier is the checker for them.
+  /// Used by plan deserialization and by the verifier's mutation tests to
+  /// construct deliberately broken trees.
+  static LoopTree assemble(std::vector<Node> nodes, std::vector<Action> top,
+                           std::vector<BufferSpec> buffers);
+
   const std::vector<Node>& nodes() const { return nodes_; }
   const std::vector<Action>& top() const { return top_; }
   /// buffers()[i] describes term i's output buffer; the final term has no

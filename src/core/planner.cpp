@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/plan_verifier.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -217,6 +218,13 @@ Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
           plan.buffer_dim_bound = bound;
           plan.sparsity_fingerprint = stats.fingerprint();
           plan.tree = LoopTree::build(kernel, plan.path, plan.order);
+#ifndef NDEBUG
+          verify_plan_or_throw(kernel, plan, options, &stats);
+#else
+          if (options.verify) {
+            verify_plan_or_throw(kernel, plan, options, &stats);
+          }
+#endif
           return plan;
         }
       }

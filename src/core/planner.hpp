@@ -53,6 +53,13 @@ struct PlannerOptions {
   /// 1 = sequential; any other value fans out on the pool (whose lane
   /// count, set by hardware or SPTTN_THREADS, is the concurrency bound).
   int search_threads = 0;
+  /// Run the static plan verifier (analysis/plan_verifier.hpp) on the
+  /// chosen plan before make_plan returns, throwing spttn::Error on any
+  /// error diagnostic. Debug builds always verify; this flag opts Release
+  /// builds in (a few hundred microseconds per plan, see BENCH_verify).
+  /// Excluded from planner_options_hash: verification never changes the
+  /// plan, so it must not fragment the kernel cache.
+  bool verify = false;
 };
 
 /// Statistics of one DP search over a group of contraction paths.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/plan_verifier.hpp"
 #include "exec/executor.hpp"
 #include "exec/kernels.hpp"
 #include "serve/kernel_cache.hpp"
@@ -52,6 +53,11 @@ DistResult DistSpttn::run(const PlannerOptions& options,
   // over the same bound tensor (rank-count sweeps, iterative drivers)
   // skips the planner search after the first.
   const Plan plan = plan_kernel(*bound_, options, KernelCache::global());
+
+  // Every rank rebuilds the compiled nest from (path, order); verify the
+  // shared plan once up front so a corrupt cached plan fails loudly here
+  // rather than as racing writes inside a rank's partial.
+  verify_plan_or_throw(kernel, plan, options, &bound_->stats);
 
   if (sparse_output && !sparse_out.empty()) {
     SPTTN_CHECK_MSG(

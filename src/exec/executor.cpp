@@ -187,6 +187,39 @@ FusedExecutor& FusedExecutor::operator=(FusedExecutor&&) noexcept = default;
 const LoopTree& FusedExecutor::tree() const { return impl_->tree; }
 int FusedExecutor::offloaded_terms() const { return impl_->offloaded_terms; }
 int FusedExecutor::collapsed_loops() const { return impl_->collapsed_loops; }
+bool FusedExecutor::collapse_dense() const { return impl_->collapse_dense; }
+
+std::vector<FusedExecutor::ParallelRegionInfo>
+FusedExecutor::parallel_regions() const {
+  std::vector<ParallelRegionInfo> out;
+  const Impl& im = *impl_;
+  for (std::size_t t = 0; t < im.top.size(); ++t) {
+    if (im.top[t].kind != CActionRef::Kind::kLoop) continue;
+    const CLoop& root = im.loops[static_cast<std::size_t>(im.top[t].id)];
+    const Impl::TopMeta& meta = im.top_meta[t];
+    ParallelRegionInfo info;
+    info.top_position = static_cast<int>(t);
+    info.root_index = root.index;
+    info.sparse = root.sparse;
+    info.par_safe = meta.par_safe;
+    info.nest_safe = meta.nest_safe;
+    info.writes_out_dense = meta.writes_out_dense;
+    info.writes_out_sparse = meta.writes_out_sparse;
+    info.out_dense_rooted = meta.out_dense_rooted;
+    info.out_dense_inner_rooted = meta.out_dense_inner_rooted;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<char> FusedExecutor::shared_buffers() const {
+  const Impl& im = *impl_;
+  std::vector<char> out(im.buffer_shared.size(), 0);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = (im.buffer_len[b] > 0 && im.buffer_shared[b]) ? 1 : 0;
+  }
+  return out;
+}
 
 std::vector<std::int64_t> FusedExecutor::Impl::strides_for(
     const std::vector<int>& idx_order,

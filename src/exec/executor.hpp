@@ -130,6 +130,34 @@ class FusedExecutor {
   int offloaded_terms() const;
   int collapsed_loops() const;
 
+  /// Compile-time locality facts of one top-level root-loop region, as
+  /// decided by analyze_parallel from the compiled program's access
+  /// strides. Exposed so the plan verifier can cross-check its own
+  /// independently derived region classification (PlanVerifier::verify
+  /// with an executor) — the two analyses must agree before a region is
+  /// partitioned across workers.
+  struct ParallelRegionInfo {
+    int top_position = -1;  ///< position in the top-level action sequence
+    int root_index = -1;    ///< kernel index id of the root loop
+    bool sparse = false;
+    bool par_safe = false;
+    bool nest_safe = false;
+    bool writes_out_dense = false;
+    bool writes_out_sparse = false;
+    bool out_dense_rooted = true;
+    bool out_dense_inner_rooted = true;
+  };
+  /// One entry per top-level kLoop action, in top order.
+  std::vector<ParallelRegionInfo> parallel_regions() const;
+  /// Per-term sharedness of the intermediate buffers: 1 when the buffer
+  /// carries values across top-level actions (lives in storage shared by
+  /// all workers). Slots without an allocated buffer (the final term) are
+  /// reported 0.
+  std::vector<char> shared_buffers() const;
+  /// Whether trailing dense exclusive chains were collapsed into strided
+  /// kernels when this nest was compiled.
+  bool collapse_dense() const;
+
   std::string describe(const Kernel& kernel) const;
 
  private:

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/plan_verifier.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -35,9 +36,10 @@ std::uint64_t planner_options_hash(const PlannerOptions& options) {
   h = hash_mix(h ^ static_cast<std::uint64_t>(options.cache_d));
   h = hash_mix(h ^ (options.sparse_aware_cache ? 4u : 0u));
   h = hash_mix(h ^ static_cast<std::uint64_t>(options.max_paths_searched));
-  // search_threads deliberately excluded: the parallel search returns a
-  // plan identical to the sequential one (see PlannerOptions docs), so it
-  // must not fragment the cache.
+  // search_threads and verify deliberately excluded: the parallel search
+  // returns a plan identical to the sequential one and verification never
+  // changes the plan (see PlannerOptions docs), so neither may fragment
+  // the cache.
   return h;
 }
 
@@ -142,6 +144,15 @@ std::shared_ptr<const KernelCache::Entry> KernelCache::get_or_plan(
   entry->kernel = kernel;
   entry->plan = make_plan(kernel, stats, options);
   entry->exec = std::make_shared<FusedExecutor>(kernel, entry->plan);
+  // Admission gate: beyond make_plan's own verification this cross-checks
+  // the verifier's region classification against the compiled executor's
+  // locality analysis — entries are handed to concurrent callers, so a
+  // plan the two analyses disagree on must never be published.
+  const VerifyReport report =
+      PlanVerifier(kernel, options, &stats).verify(entry->plan, *entry->exec);
+  SPTTN_CHECK_MSG(report.ok(), "kernel cache rejects unverifiable plan for "
+                                   << kernel.to_string() << ":\n"
+                                   << report.to_string());
   return impl_->publish(std::move(entry), /*replace=*/false);
 }
 
@@ -153,6 +164,22 @@ std::shared_ptr<const KernelCache::Entry> KernelCache::get_or_plan(
 
 std::shared_ptr<const KernelCache::Entry> KernelCache::put(
     KernelSignature sig, const Kernel& kernel, Plan plan) {
+  // Admission gate: put() accepts externally produced plans (autotuners,
+  // future deserialization), so the structural rules must pass before the
+  // plan is published. The planner options and stats the plan was derived
+  // from are not available here — cost consistency and the CSF-order
+  // restriction are planning-time checks — so only the option-independent
+  // rules run.
+  PlannerOptions relaxed;
+  relaxed.restrict_csf_order = false;
+  VerifyOptions structural;
+  structural.check_cost = false;
+  structural.check_flops = false;
+  const VerifyReport report =
+      PlanVerifier(kernel, relaxed, nullptr, structural).verify(plan);
+  SPTTN_CHECK_MSG(report.ok(), "kernel cache rejects unverifiable plan for "
+                                   << kernel.to_string() << ":\n"
+                                   << report.to_string());
   auto entry = std::make_shared<Entry>();
   entry->signature = std::move(sig);
   entry->kernel = kernel;

@@ -99,6 +99,11 @@ class KernelCache {
   /// two racers on the same signature both plan and the loser adopts the
   /// winner's published entry. `was_cached`, when non-null, reports
   /// whether the entry was served without running the planner.
+  ///
+  /// Admission gate: a freshly planned entry is published only after the
+  /// static plan verifier passes, including the cross-check of its region
+  /// classification against the compiled executor's locality analysis
+  /// (analysis/plan_verifier.hpp); throws spttn::Error otherwise.
   std::shared_ptr<const Entry> get_or_plan(const Kernel& kernel,
                                            const SparsityStats& stats,
                                            const PlannerOptions& options = {},
@@ -109,7 +114,11 @@ class KernelCache {
 
   /// Publish an externally produced plan (e.g. an autotuned winner) under
   /// `sig`, compiling its executor; replaces any resident entry with the
-  /// same signature and returns the published entry.
+  /// same signature and returns the published entry. The structural rules
+  /// of the static plan verifier gate admission (the planner options and
+  /// stats behind `sig` are not recoverable from the hash, so cost
+  /// consistency stays a planning-time check); throws spttn::Error on a
+  /// plan that fails them.
   std::shared_ptr<const Entry> put(KernelSignature sig, const Kernel& kernel,
                                    Plan plan);
 

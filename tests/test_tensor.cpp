@@ -143,7 +143,7 @@ TEST(CooTensor, ProjectionCountExactRandomizedVsBruteForce) {
   Rng rng(17);
   // Small extents take the packed fast path; the wide tensor below forces
   // the tuple fallback. Both must agree with a std::set of tuples.
-  for (const std::vector<std::int64_t> dims :
+  for (const std::vector<std::int64_t>& dims :
        {std::vector<std::int64_t>{9, 8, 7, 6},
         std::vector<std::int64_t>{std::int64_t{1} << 40,
                                   std::int64_t{1} << 40,
