@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "util/cli.hpp"
@@ -105,9 +106,22 @@ void skew_scaling_table(const std::string& title,
                        *p, threads, reps);
 }
 
+/// Machine-readable rows for one scaling table (--json output).
+struct ScalingJson {
+  std::string figure;
+  std::string kernel;
+  struct Row {
+    int ranks = 0;
+    std::string grid;
+    double max_local_s = 0, comm_s = 0, total_s = 0, speedup = 0,
+           imbalance = 0;
+  };
+  std::vector<Row> rows;
+};
+
 void scaling_table(const std::string& title, const Problem& p,
                    const std::vector<int>& ranks, int local_threads,
-                   bool concurrent_ranks) {
+                   bool concurrent_ranks, ScalingJson* json = nullptr) {
   Table table(title);
   table.set_header({"ranks", "grid", "max-local[s]", "comm[s]", "total[s]",
                     "speedup", "efficiency", "imbalance"});
@@ -126,9 +140,38 @@ void scaling_table(const std::string& title, const Problem& p,
                                         static_cast<double>(r) *
                                         static_cast<double>(ranks.front())),
                    strfmt("%.2f", res.imbalance)});
+    if (json != nullptr) {
+      json->rows.push_back({r, res.grid.describe(), res.max_local_seconds,
+                            res.comm_seconds, res.time(), t1 / res.time(),
+                            res.imbalance});
+    }
   }
   table.add_note("paper Fig. 8: near-linear scaling for all three kernels");
   table.print(std::cout);
+}
+
+void write_fig8_json(const std::string& path,
+                     const std::vector<ScalingJson>& figs) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"bench_fig8_scaling\",\n  \"unit\": \"s\",\n"
+     << "  \"figures\": [\n";
+  for (std::size_t f = 0; f < figs.size(); ++f) {
+    os << "    {\"figure\": \"" << figs[f].figure << "\", \"kernel\": \""
+       << figs[f].kernel << "\", \"rows\": [\n";
+    for (std::size_t i = 0; i < figs[f].rows.size(); ++i) {
+      const auto& r = figs[f].rows[i];
+      os << "      {\"ranks\": " << r.ranks << ", \"grid\": \"" << r.grid
+         << "\", \"max_local_s\": " << strfmt("%.6f", r.max_local_s)
+         << ", \"comm_s\": " << strfmt("%.6f", r.comm_s) << ", \"total_s\": "
+         << strfmt("%.6f", r.total_s) << ", \"speedup\": "
+         << strfmt("%.3f", r.speedup) << ", \"imbalance\": "
+         << strfmt("%.3f", r.imbalance) << "}"
+         << (i + 1 < figs[f].rows.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (f + 1 < figs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace
@@ -154,7 +197,11 @@ int main(int argc, char** argv) {
       "skew", true, "also run the skewed-root MTTKRP scaling table");
   const auto* reps = cli.add_int("reps", 3, "timing repetitions per row");
   const auto* seed = cli.add_int("seed", 7, "generator seed");
+  const std::string* json =
+      cli.add_string("json", "BENCH_fig8.json",
+                     "output path for machine-readable rows ('' = skip)");
   cli.parse(argc, argv);
+  std::vector<ScalingJson> json_figs;
 
   std::vector<int> ranks;
   for (int r = 1; r <= *max_ranks; r *= 2) ranks.push_back(r);
@@ -178,7 +225,8 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks);
+                  *p, ranks, *local_threads, *concurrent_ranks,
+                  &json_figs.emplace_back(ScalingJson{"8a", "ttmc3", {}}));
   }
   {
     CooTensor t = random_coo({*n4, *n4, *n4, *n4}, nnz4, rng);
@@ -188,7 +236,8 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n4),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks);
+                  *p, ranks, *local_threads, *concurrent_ranks,
+                  &json_figs.emplace_back(ScalingJson{"8b", "mttkrp4", {}}));
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(b') — MTTKRP shared-memory thread scaling, "
@@ -207,7 +256,8 @@ int main(int argc, char** argv) {
                          static_cast<long long>(*n3),
                          static_cast<long long>(p->sparse.nnz()),
                          static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks);
+                  *p, ranks, *local_threads, *concurrent_ranks,
+                  &json_figs.emplace_back(ScalingJson{"8c", "tttp3", {}}));
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(c') — TTTP shared-memory thread scaling, "
@@ -224,5 +274,6 @@ int main(int argc, char** argv) {
                static_cast<long long>(*rank)),
         threads, static_cast<int>(*rank), static_cast<int>(*reps), rng);
   }
+  if (!json->empty()) write_fig8_json(*json, json_figs);
   return 0;
 }

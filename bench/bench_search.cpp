@@ -7,6 +7,8 @@
 // (CP-ALS-style sweeps over the per-mode kernel family) planning through
 // the KernelCache, showing per-iteration plan time collapsing to ~0 after
 // the first sweep populates the cache.
+#include <fstream>
+
 #include "bench_common.hpp"
 #include "core/enumerate.hpp"
 #include "core/order_dp.hpp"
@@ -22,7 +24,7 @@ namespace {
 /// kernel planned per sweep — uncached (fresh search every time) vs through
 /// a KernelCache (search only on the miss sweep).
 int run_cache_mode(std::int64_t n, std::int64_t rank, std::uint64_t seed,
-                   int sweeps) {
+                   int sweeps, const std::string& json) {
   SPTTN_CHECK_MSG(sweeps >= 2,
                   "--sweeps must be >= 2 (sweep 1 populates the cache, "
                   "later sweeps measure the hits), got " << sweeps);
@@ -51,6 +53,14 @@ int run_cache_mode(std::int64_t n, std::int64_t rank, std::uint64_t seed,
   Table table("Amortized planning cost — KernelCache across sweeps");
   table.set_header({"kernel family", "kernels", "sweep1[ms]", "sweep2+[ms]",
                     "uncached/sweep[ms]", "speedup", "hits", "misses"});
+
+  struct JsonRow {
+    std::string family;
+    std::size_t kernels = 0;
+    double sweep1_ms = 0, rest_ms = 0, uncached_ms = 0;
+    std::uint64_t hits = 0, misses = 0;
+  };
+  std::vector<JsonRow> json_rows;
 
   for (const auto& fam : families) {
     Rng rng(seed);
@@ -108,12 +118,33 @@ int run_cache_mode(std::int64_t n, std::int64_t rank, std::uint64_t seed,
          strfmt("%.4f", rest_ms), strfmt("%.3f", uncached_per_sweep),
          rest_ms > 0 ? strfmt("%.0fx", uncached_per_sweep / rest_ms) : "inf",
          std::to_string(counters.hits), std::to_string(counters.misses)});
+    json_rows.push_back({fam.name, kernels.size(), sweep1_ms, rest_ms,
+                         uncached_per_sweep, counters.hits,
+                         counters.misses});
   }
   table.add_note("sweep1 = misses populate the cache (full search); "
                  "sweep2+ = per-sweep cost served from cache");
   table.add_note("uncached = make_plan per kernel per sweep (what iterative "
                  "drivers paid before the serving layer)");
   table.print(std::cout);
+
+  if (!json.empty()) {
+    std::ofstream os(json);
+    os << "{\n  \"bench\": \"bench_search\",\n  \"mode\": \"cache\",\n"
+       << "  \"unit\": \"ms\",\n  \"n\": " << n << ",\n  \"sweeps\": "
+       << sweeps << ",\n  \"families\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      os << "    {\"family\": \"" << r.family << "\", \"kernels\": "
+         << r.kernels << ", \"sweep1_ms\": " << strfmt("%.4f", r.sweep1_ms)
+         << ", \"rest_ms\": " << strfmt("%.4f", r.rest_ms)
+         << ", \"uncached_ms\": " << strfmt("%.4f", r.uncached_ms)
+         << ", \"hits\": " << r.hits << ", \"misses\": " << r.misses << "}"
+         << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << json << "\n";
+  }
   return 0;
 }
 
@@ -128,11 +159,14 @@ int main(int argc, char** argv) {
                                    "measure amortized planning cost "
                                    "through the KernelCache");
   const auto* sweeps = cli.add_int("sweeps", 16, "iterations for --cache");
+  const std::string* json =
+      cli.add_string("json", "BENCH_search.json",
+                     "output path for machine-readable rows ('' = skip)");
   cli.parse(argc, argv);
 
   if (*cache) {
     return run_cache_mode(*n, *rank, static_cast<std::uint64_t>(*seed),
-                          static_cast<int>(*sweeps));
+                          static_cast<int>(*sweeps), *json);
   }
 
   struct Case {
@@ -153,6 +187,17 @@ int main(int argc, char** argv) {
   table.set_header({"kernel", "paths", "exec paths", "orders(best path)",
                     "orders(CSF)", "DP subprobs", "DP evals", "DP[ms]",
                     "enum[ms]", "agree"});
+
+  struct JsonRow {
+    std::string kernel;
+    int paths = 0;
+    std::size_t exec_paths = 0;
+    double orders_csf = 0;
+    std::int64_t dp_subproblems = 0, dp_evaluations = 0;
+    double dp_ms = 0, enum_ms = 0;
+    std::string agree;
+  };
+  std::vector<JsonRow> json_rows;
 
   for (const auto& c : cases) {
     Rng rng(static_cast<std::uint64_t>(*seed));
@@ -201,11 +246,34 @@ int main(int argc, char** argv) {
                    std::to_string(dp.subproblems),
                    std::to_string(dp.evaluations), strfmt("%.2f", dp_ms),
                    strfmt("%.2f", enum_ms), agree});
+    json_rows.push_back({c.name, total, exec_paths.size(), orders_csf,
+                         static_cast<std::int64_t>(dp.subproblems),
+                         static_cast<std::int64_t>(dp.evaluations), dp_ms,
+                         enum_ms, agree});
   }
   table.add_note("upper bound on paths: n!(n-1)!/2^(n-1) (Section 4.1.1); "
                  "orders per path: prod |I_i|! (/k_i! with CSF order)");
   table.add_note("DP: O(N^2 2^m) subproblems, O(Nm) work each "
                  "(Section 4.2)");
   table.print(std::cout);
+
+  if (!json->empty()) {
+    std::ofstream os(*json);
+    os << "{\n  \"bench\": \"bench_search\",\n  \"mode\": \"search-space\","
+       << "\n  \"unit\": \"ms\",\n  \"n\": " << *n << ",\n  \"rank\": "
+       << *rank << ",\n  \"seed\": " << *seed << ",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      os << "    {\"kernel\": \"" << r.kernel << "\", \"paths\": " << r.paths
+         << ", \"exec_paths\": " << r.exec_paths << ", \"orders_csf\": "
+         << strfmt("%.0f", r.orders_csf) << ", \"dp_subproblems\": "
+         << r.dp_subproblems << ", \"dp_evaluations\": " << r.dp_evaluations
+         << ", \"dp_ms\": " << strfmt("%.3f", r.dp_ms) << ", \"enum_ms\": "
+         << strfmt("%.3f", r.enum_ms) << ", \"agree\": \"" << r.agree
+         << "\"}" << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << *json << "\n";
+  }
   return 0;
 }

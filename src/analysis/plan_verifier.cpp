@@ -902,4 +902,15 @@ void verify_plan_or_throw(const Kernel& kernel, const Plan& plan,
                                    << report.to_string());
 }
 
+VerifyReport verify_external_plan(const Kernel& kernel, const Plan& plan,
+                                  const FusedExecutor* exec) {
+  PlannerOptions relaxed;
+  relaxed.restrict_csf_order = false;
+  VerifyOptions structural;
+  structural.check_cost = false;
+  structural.check_flops = false;
+  const PlanVerifier verifier(kernel, relaxed, nullptr, structural);
+  return exec != nullptr ? verifier.verify(plan, *exec) : verifier.verify(plan);
+}
+
 }  // namespace spttn

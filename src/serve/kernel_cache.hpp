@@ -10,9 +10,21 @@
 // fingerprint — so any consumer (sessions, the decomposition drivers, the
 // simulated distributed runtime, the autotuner) that binds a structurally
 // identical problem skips the path enumeration and order DP entirely.
+//
+// Fleet-grade admission policy: compiled executors and their per-execution
+// buffer working sets are the heavy part of an entry, so the cache budgets
+// bytes (Config::max_bytes) in addition to entry count, with TTL expiry as
+// a second knob for long-lived servers. Plans persist: save_dir writes
+// every resident plan as a versioned, checksummed artifact (core/plan_io)
+// and load_dir re-admits them through the static plan verifier plus the
+// sparsity-fingerprint consistency check, so a restarted process serves
+// every warmed kernel with zero planner searches — and a stale or
+// corrupted artifact can never reach an executor.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,7 +65,7 @@ KernelSignature make_signature(const Kernel& kernel,
 /// Hash of the plan-relevant PlannerOptions fields.
 std::uint64_t planner_options_hash(const PlannerOptions& options);
 
-/// Thread-safe LRU cache of planned kernels.
+/// Thread-safe byte-budgeted LRU cache of planned kernels.
 ///
 /// Entries are immutable once published and handed out as shared
 /// pointers, so a hit costs one mutex-guarded map probe; eviction can
@@ -63,6 +75,23 @@ std::uint64_t planner_options_hash(const PlannerOptions& options);
 /// entry are safe — that is what lets many serving sessions share it.
 class KernelCache {
  public:
+  /// Admission/eviction policy. Entry count and resident bytes are both
+  /// budgets (eviction triggers on whichever is exceeded); TTL is absolute
+  /// from insertion. A zero capacity or zero byte budget makes the cache a
+  /// pass-through: get_or_plan still plans, verifies and returns working
+  /// entries (and still deduplicates concurrent planning), but nothing is
+  /// ever inserted — there is no insert-then-immediately-evict churn.
+  struct Config {
+    /// Maximum resident entries; 0 = pass-through.
+    std::size_t capacity = 128;
+    /// Maximum summed Entry::bytes resident; 0 = pass-through, the default
+    /// (SIZE_MAX) is unbounded.
+    std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+    /// Entries older than this (since insertion) are expired on the next
+    /// probe or insertion sweep; zero disables expiry.
+    std::chrono::milliseconds ttl{0};
+  };
+
   /// One memoized planning result.
   struct Entry {
     KernelSignature signature;
@@ -70,35 +99,60 @@ class KernelCache {
     Plan plan;
     /// Compiled nest; safe for concurrent execute() calls.
     std::shared_ptr<FusedExecutor> exec;
+    /// Estimated resident size: plan tree + loop order + path + signature
+    /// structures, the compiled program's metadata, and the executor's
+    /// per-execution buffer working set. The byte budget sums these.
+    std::size_t bytes = 0;
+    /// Insertion time (steady clock) driving TTL expiry; meaningless for
+    /// pass-through entries that were never resident.
+    std::chrono::steady_clock::time_point inserted{};
   };
 
-  /// Hit/miss/eviction counters for observability (bench_search --cache,
-  /// the serving example, and capacity tuning).
+  /// Hit/miss/eviction counters for observability (bench_serve, the
+  /// serving example, and capacity/byte-budget tuning). `planned` counts
+  /// actual planner searches; with single-flight deduplication it can be
+  /// far below `misses` under concurrent load (the difference shows up in
+  /// `coalesced`).
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t evictions = 0;  ///< capacity- or byte-budget evictions
+    std::uint64_t expired = 0;    ///< TTL expirations
     std::uint64_t inserts = 0;
+    /// Planner searches actually executed (misses that were not coalesced).
+    std::uint64_t planned = 0;
+    /// Misses served by waiting on another thread's in-flight search for
+    /// the same signature instead of running a duplicate search.
+    std::uint64_t coalesced = 0;
     std::size_t entries = 0;
+    /// Summed Entry::bytes of the resident entries.
+    std::size_t bytes_resident = 0;
   };
 
-  /// `capacity` bounds the number of resident entries (LRU eviction);
-  /// at least 1.
+  /// Legacy count-only constructor: `capacity` bounds the number of
+  /// resident entries, bytes unbounded. Capacity 0 = pass-through.
   explicit KernelCache(std::size_t capacity = 128);
+  /// Fleet configuration: entry count, byte budget, TTL.
+  explicit KernelCache(const Config& config);
   ~KernelCache();
 
   KernelCache(const KernelCache&) = delete;
   KernelCache& operator=(const KernelCache&) = delete;
 
-  /// Probe without planning; null on miss. Counts a hit or a miss.
+  /// Probe without planning; null on miss. Counts a hit or a miss; an
+  /// entry past its TTL is expired (counted, erased) and reported a miss.
   std::shared_ptr<const Entry> lookup(const KernelSignature& sig);
 
   /// The workhorse: return the cached entry for (kernel, stats, options),
   /// planning and compiling on a miss. Planning runs outside the cache
   /// lock, so concurrent misses on different kernels search concurrently;
-  /// two racers on the same signature both plan and the loser adopts the
-  /// winner's published entry. `was_cached`, when non-null, reports
-  /// whether the entry was served without running the planner.
+  /// concurrent misses on the SAME signature are single-flighted — one
+  /// thread runs the search, the others block on its result and share the
+  /// published entry (Counters::coalesced), so N racing clients cost one
+  /// planner search instead of N. If the search throws, every coalesced
+  /// waiter observes the same error. `was_cached`, when non-null, reports
+  /// whether the entry was served without running the planner on this
+  /// thread (a resident hit or a coalesced wait).
   ///
   /// Admission gate: a freshly planned entry is published only after the
   /// static plan verifier passes, including the cross-check of its region
@@ -122,8 +176,42 @@ class KernelCache {
   std::shared_ptr<const Entry> put(KernelSignature sig, const Kernel& kernel,
                                    Plan plan);
 
+  /// Outcome of one save_dir/load_dir sweep. `errors` carries one
+  /// structured message per artifact that failed (I/O, deserialization,
+  /// verification, fingerprint drift); the sweep itself never throws for
+  /// per-file defects.
+  struct DirReport {
+    int processed = 0;  ///< artifacts written (save) or admitted (load)
+    int rejected = 0;   ///< artifacts skipped with an error
+    std::vector<std::string> errors;
+
+    std::string to_string() const;
+  };
+
+  /// Persist every resident entry to `dir` (created if needed) as one
+  /// versioned artifact per signature (core/plan_io format, file name
+  /// derived from the signature hash). Concurrent cache use is safe; the
+  /// sweep snapshots the resident set. Throws spttn::Error only when `dir`
+  /// cannot be created; per-file failures land in the report.
+  DirReport save_dir(const std::string& dir) const;
+
+  /// Re-admit previously saved artifacts: every `*.plan` file in `dir` is
+  /// deserialized, its kernel rebuilt, and the plan pushed through the
+  /// full admission gate — the static plan verifier's structural rules,
+  /// the executor locality cross-check, and the sparsity-fingerprint
+  /// consistency check (the artifact's signature fingerprint must equal
+  /// the plan's recorded fingerprint) — before it becomes resident. A
+  /// corrupted, truncated, version-mismatched or wrong-fingerprint
+  /// artifact is rejected with a structured error; it can never execute.
+  /// Loaded entries land with fresh TTL and count as inserts, not
+  /// planner searches — after a warm load, get_or_plan over the same
+  /// problems is pure hits (Counters::planned stays 0). On a pass-through
+  /// cache the sweep rejects everything (nothing can become resident).
+  DirReport load_dir(const std::string& dir);
+
   Counters counters() const;
   std::size_t capacity() const;
+  const Config& config() const;
   void clear();
 
   /// Process-wide cache shared by the convenience overloads
@@ -135,6 +223,13 @@ class KernelCache {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Estimated resident bytes of one cache entry: signature + kernel + plan
+/// (path, order, tree, buffers) structure sizes plus the compiled
+/// executor's program metadata and per-execution buffer working set.
+/// Exposed for tests and the spttn_cache inspect CLI.
+std::size_t estimate_entry_bytes(const KernelSignature& sig,
+                                 const Kernel& kernel, const Plan& plan);
 
 /// Cache-aware planning: fetch or compute the plan for `bound`.
 Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options,

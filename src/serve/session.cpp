@@ -1,5 +1,6 @@
 #include "serve/session.hpp"
 
+#include <atomic>
 #include <unordered_map>
 #include <utility>
 
@@ -13,6 +14,9 @@ struct Session::Impl {
   KernelCache* cache = nullptr;
   CsfTensor csf;
   SparsityStats stats;
+  /// submit()ted executions not yet completed; values() refuses to hand
+  /// out a mutable view while this is nonzero.
+  std::atomic<std::size_t> in_flight{0};
 
   struct Prepared {
     std::vector<const DenseTensor*> slots;  // per kernel input; sparse null
@@ -97,8 +101,13 @@ TaskHandle Session::submit(int kernel_id, DenseTensor* out_dense,
   // The task captures the shared Impl — not the Session — so the bound
   // state stays alive even if the Session is destroyed while the request
   // is still queued or running.
+  impl_->in_flight.fetch_add(1, std::memory_order_acq_rel);
   return ThreadPool::global().submit(
       [impl = impl_, kernel_id, out_dense, out_sparse] {
+        struct Landed {  // decrement even when the execution throws
+          Impl* impl;
+          ~Landed() { impl->in_flight.fetch_sub(1, std::memory_order_acq_rel); }
+        } landed{impl.get()};
         impl->run_with(kernel_id, impl->at(kernel_id).slots, out_dense,
                        out_sparse, /*num_threads=*/1);
       });
@@ -130,7 +139,21 @@ bool Session::plan_was_cached(int kernel_id) const {
   return impl_->at(kernel_id).was_cached;
 }
 
-std::span<double> Session::values() { return impl_->csf.vals(); }
+std::span<double> Session::values() {
+  const std::size_t pending =
+      impl_->in_flight.load(std::memory_order_acquire);
+  SPTTN_CHECK_MSG(pending == 0,
+                  "values() while " << pending
+                                    << " submitted execution(s) are in "
+                                       "flight: mutating nonzero values "
+                                       "would race the executor; wait() on "
+                                       "the outstanding handles first");
+  return impl_->csf.vals();
+}
+
+std::size_t Session::in_flight() const {
+  return impl_->in_flight.load(std::memory_order_acquire);
+}
 
 const CsfTensor& Session::csf() const { return impl_->csf; }
 

@@ -96,7 +96,16 @@ class Session {
   /// Mutable nonzero values of the bound CSF, aligned with the sorted COO
   /// entry order — in-place value updates (residuals, reweighting) reuse
   /// every cached plan because plans depend only on structure.
+  ///
+  /// Mutation hazard guard: while any submit()ted execution is still
+  /// queued or running, handing out a mutable view would race with the
+  /// executor reading the same values, so this throws spttn::Error until
+  /// every outstanding handle completed (wait() on them first). run() and
+  /// synchronous callers are unaffected — they already ordered themselves.
   std::span<double> values();
+
+  /// Number of submit()ted executions not yet completed.
+  std::size_t in_flight() const;
 
   const CsfTensor& csf() const;
   const SparsityStats& stats() const;

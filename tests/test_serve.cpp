@@ -7,10 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <latch>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/plan_io.hpp"
 #include "serve/kernel_cache.hpp"
 #include "serve/session.hpp"
 #include "test_helpers.hpp"
@@ -433,8 +439,9 @@ TEST(Session, ConcurrentSubmitFromManyThreads) {
 }
 
 TEST(KernelCache, ConcurrentGetOrPlanRaces) {
-  // Concurrent misses on the same signature: both racers plan, one entry
-  // wins, everyone gets a usable (and identical) plan.
+  // Concurrent misses on the same signature: one entry wins, everyone gets
+  // a usable (and identical) plan, and single-flight dedup means exactly
+  // one planner search ran no matter how the threads interleaved.
   auto inst = make_instance(kernel_case("ttmc3"), 41);
   KernelCache cache;
   constexpr int kThreads = 4;
@@ -447,12 +454,347 @@ TEST(KernelCache, ConcurrentGetOrPlanRaces) {
   }
   for (auto& th : threads) th.join();
   EXPECT_EQ(cache.counters().entries, 1u);
+  EXPECT_EQ(cache.counters().planned, 1u);
   for (int i = 1; i < kThreads; ++i) {
     EXPECT_EQ(entries[0]->plan.path,
               entries[static_cast<std::size_t>(i)]->plan.path);
     EXPECT_EQ(entries[0]->plan.order,
               entries[static_cast<std::size_t>(i)]->plan.order);
   }
+}
+
+TEST(Session, ValuesRefusedWhileSubmissionsInFlight) {
+  // Mutation hazard: a mutable values() view handed out while a submitted
+  // execution is queued or running would race the executor's reads, so the
+  // session must fail fast instead. Deterministic setup: block every pool
+  // lane with gate tasks so the submitted request cannot start, assert the
+  // refusal, then drain and assert values() works again. This test is part
+  // of the TSan CI job's list.
+  ScopedLanes lanes(2);
+  Rng rng(51);
+  const CooTensor t = random_coo({10, 9, 8}, 80, rng);
+  const DenseTensor u = random_dense({9, 4}, rng);
+  const DenseTensor v = random_dense({8, 4}, rng);
+
+  KernelCache cache;
+  Session session(t, {}, &cache);
+  const int id = session.prepare("M(i,r) = T(i,j,k)*U(j,r)*V(k,r)", {&u, &v});
+  DenseTensor out = session.make_output(id);
+
+  // The pool presents `lanes` lanes but the caller counts as one, so a
+  // 2-lane pool has exactly one worker — one gate task pins it.
+  std::latch entered(1);
+  std::latch release(1);
+  std::vector<TaskHandle> gates;
+  gates.push_back(ThreadPool::global().submit([&] {
+    entered.count_down();
+    release.wait();
+  }));
+  entered.wait();  // the only worker is now blocked
+
+  TaskHandle h = session.submit(id, &out);
+  EXPECT_EQ(session.in_flight(), 1u);
+  EXPECT_THROW((void)session.values(), Error);
+
+  release.count_down();
+  h.wait();
+  for (auto& g : gates) g.wait();
+  EXPECT_EQ(session.in_flight(), 0u);
+  EXPECT_EQ(session.values().size(), static_cast<std::size_t>(t.nnz()));
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: save_dir / load_dir.
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(KernelCachePersist, WarmDirServesEveryPaperKernelWithZeroSearches) {
+  // The acceptance criterion: a cold process pointed at a warmed cache dir
+  // serves every paper kernel without a single planner search.
+  const std::string dir = fresh_dir("spttn_cache_warm");
+  const auto suite = paper_kernels();
+
+  KernelCache warm;
+  std::vector<std::unique_ptr<Instance>> instances;
+  for (const auto& kc : suite) {
+    instances.push_back(make_instance(kc, 97));
+    (void)warm.get_or_plan(instances.back()->bound);
+  }
+  const auto saved = warm.save_dir(dir);
+  EXPECT_EQ(saved.processed, static_cast<int>(suite.size()));
+  EXPECT_EQ(saved.rejected, 0) << saved.to_string();
+
+  // "Cold process": a fresh cache (fresh instances too — the suite's
+  // deterministic generators reproduce identical structures, as another
+  // process would when binding the same data).
+  KernelCache cold;
+  const auto loaded = cold.load_dir(dir);
+  EXPECT_EQ(loaded.processed, static_cast<int>(suite.size()));
+  EXPECT_EQ(loaded.rejected, 0) << loaded.to_string();
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    SCOPED_TRACE(suite[i].name);
+    auto inst = make_instance(suite[i], 97);
+    bool was_cached = false;
+    const auto entry = cold.get_or_plan(inst->bound, {}, &was_cached);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(was_cached);
+
+    // Loaded plans execute bit-identically to the freshly planned ones.
+    const bool sparse_out = inst->bound.kernel.output_is_sparse();
+    ExecArgs args;
+    args.sparse = &inst->bound.csf;
+    args.dense = inst->bound.dense;
+    DenseTensor out_fresh, out_loaded;
+    std::vector<double> sp_fresh, sp_loaded;
+    if (sparse_out) {
+      sp_fresh.assign(static_cast<std::size_t>(inst->sparse.nnz()), 0.0);
+      sp_loaded = sp_fresh;
+    } else {
+      out_fresh = make_output(inst->bound);
+      out_loaded = make_output(inst->bound);
+    }
+    auto run_one = [&](const KernelCache::Entry& e, DenseTensor* od,
+                       std::span<double> os) {
+      ExecArgs a = args;
+      a.out_dense = od;
+      a.out_sparse = os;
+      e.exec->execute(a);
+    };
+    run_one(*warm.get_or_plan(instances[i]->bound),
+            sparse_out ? nullptr : &out_fresh, sp_fresh);
+    run_one(*entry, sparse_out ? nullptr : &out_loaded, sp_loaded);
+    if (sparse_out) {
+      for (std::size_t e = 0; e < sp_fresh.size(); ++e) {
+        ASSERT_EQ(std::memcmp(&sp_fresh[e], &sp_loaded[e], sizeof(double)),
+                  0);
+      }
+    } else {
+      for (std::int64_t e = 0; e < out_fresh.size(); ++e) {
+        ASSERT_EQ(std::memcmp(&out_fresh.data()[e], &out_loaded.data()[e],
+                              sizeof(double)),
+                  0);
+      }
+    }
+  }
+  const auto c = cold.counters();
+  EXPECT_EQ(c.planned, 0u) << "a warmed dir must serve with zero searches";
+  EXPECT_EQ(c.misses, 0u);
+  EXPECT_EQ(c.hits, static_cast<std::uint64_t>(suite.size()));
+}
+
+TEST(KernelCachePersist, LoadRejectsTamperedArtifactsButAdmitsGoodOnes) {
+  const std::string dir = fresh_dir("spttn_cache_reject");
+  auto inst = make_instance(kernel_case("mttkrp3"), 98);
+  KernelCache warm;
+  (void)warm.get_or_plan(inst->bound);
+  ASSERT_EQ(warm.save_dir(dir).processed, 1);
+
+  // Read the good artifact back to derive the tampered variants.
+  std::string good;
+  for (const auto& de : fs::directory_iterator(dir)) {
+    std::ifstream is(de.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    good = buf.str();
+  }
+  ASSERT_FALSE(good.empty());
+
+  auto write = [&](const std::string& name, const std::string& text) {
+    std::ofstream os(fs::path(dir) / name, std::ios::binary);
+    os << text;
+  };
+  std::string corrupt = good;
+  corrupt[corrupt.size() / 2] ^= 1;
+  write("corrupt.plan", corrupt);
+  write("truncated.plan", good.substr(0, good.size() / 3));
+  std::string v2 = good;
+  v2.replace(v2.find("v1"), 2, "v2");
+  write("version.plan", v2);
+  // Wrong fingerprint: artifact keyed for a different structure than the
+  // plan was derived from (a stale artifact).
+  write("stale.plan",
+        serialize_plan(inst->bound.kernel,
+                       warm.get_or_plan(inst->bound)->plan,
+                       {{"options_hash", "0"},
+                        {"sparsity_fingerprint", "deadbeef"}}));
+
+  KernelCache cold;
+  const auto rep = cold.load_dir(dir);
+  EXPECT_EQ(rep.processed, 1);  // only the untouched artifact
+  EXPECT_EQ(rep.rejected, 4) << rep.to_string();
+  EXPECT_EQ(cold.counters().entries, 1u);
+  bool saw_fingerprint = false, saw_version = false, saw_checksum = false;
+  for (const std::string& e : rep.errors) {
+    saw_fingerprint |= e.find("fingerprint mismatch") != std::string::npos;
+    saw_version |= e.find("version header") != std::string::npos;
+    saw_checksum |= e.find("checksum") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_fingerprint);
+  EXPECT_TRUE(saw_version);
+  EXPECT_TRUE(saw_checksum);
+}
+
+TEST(KernelCachePersist, LoadDirEdgeCases) {
+  // Missing directory: structured error, no throw.
+  KernelCache cache;
+  const auto missing = cache.load_dir(fresh_dir("spttn_cache_nonexistent"));
+  EXPECT_EQ(missing.processed, 0);
+  EXPECT_FALSE(missing.errors.empty());
+
+  // Pass-through cache: nothing can become resident; the sweep says so.
+  KernelCache pass(0);
+  const auto rep = pass.load_dir(fresh_dir("spttn_cache_pass"));
+  EXPECT_EQ(rep.processed, 0);
+  ASSERT_FALSE(rep.errors.empty());
+  EXPECT_NE(rep.errors[0].find("pass-through"), std::string::npos);
+}
+
+TEST(KernelCache, SingleFlightCoalescesConcurrentMisses) {
+  // Regression for the double-planning bug: N clients racing a cold cache
+  // on one signature must cost exactly ONE planner search. Every miss that
+  // did not run the search is accounted as coalesced, and all clients end
+  // up sharing the one published entry.
+  auto inst = make_instance(kernel_case("mttkrp3"), 43);
+  KernelCache cache;
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<std::shared_ptr<const KernelCache::Entry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }  // start barrier: maximize miss overlap
+      entries[static_cast<std::size_t>(i)] = cache.get_or_plan(inst->bound);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto c = cache.counters();
+  EXPECT_EQ(c.planned, 1u);
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.hits + c.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(c.coalesced, c.misses - 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(entries[0].get(), entries[static_cast<std::size_t>(i)].get());
+  }
+}
+
+TEST(KernelCache, ZeroCapacityIsPassThrough) {
+  // Capacity 0 (and byte budget 0) = pass-through: plan, verify, serve —
+  // never insert, never churn.
+  auto inst = make_instance(kernel_case("mttkrp3"), 44);
+  for (const bool via_bytes : {false, true}) {
+    KernelCache::Config cfg;
+    if (via_bytes) {
+      cfg.max_bytes = 0;
+    } else {
+      cfg.capacity = 0;
+    }
+    KernelCache cache(cfg);
+    const auto e1 = cache.get_or_plan(inst->bound);
+    const auto e2 = cache.get_or_plan(inst->bound);
+    ASSERT_NE(e1, nullptr);
+    ASSERT_NE(e2, nullptr);
+    const auto c = cache.counters();
+    EXPECT_EQ(c.entries, 0u);
+    EXPECT_EQ(c.inserts, 0u);
+    EXPECT_EQ(c.evictions, 0u);
+    EXPECT_EQ(c.bytes_resident, 0u);
+    EXPECT_EQ(c.misses, 2u);
+    EXPECT_EQ(c.planned, 2u);
+
+    // Pass-through entries still execute correctly.
+    DenseTensor out = make_output(inst->bound);
+    ExecArgs args;
+    args.sparse = &inst->bound.csf;
+    args.dense = inst->bound.dense;
+    args.out_dense = &out;
+    e1->exec->execute(args);
+  }
+}
+
+TEST(KernelCache, CapacityOneKeepsLatest) {
+  auto a = make_instance(kernel_case("mttkrp3"), 45);
+  auto b = make_instance(kernel_case("ttmc3"), 45);
+  KernelCache cache(1);
+  (void)cache.get_or_plan(a->bound);
+  (void)cache.get_or_plan(b->bound);
+  auto c = cache.counters();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.evictions, 1u);
+  bool was_cached = false;
+  (void)cache.get_or_plan(b->bound, {}, &was_cached);  // resident
+  EXPECT_TRUE(was_cached);
+  (void)cache.get_or_plan(a->bound, {}, &was_cached);  // evicted earlier
+  EXPECT_FALSE(was_cached);
+}
+
+TEST(KernelCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  auto a = make_instance(kernel_case("mttkrp3"), 46);
+  auto b = make_instance(kernel_case("ttmc3"), 46);
+  // Learn the two entry sizes from an unbounded cache.
+  std::size_t bytes_a = 0, bytes_b = 0;
+  {
+    KernelCache probe;
+    bytes_a = probe.get_or_plan(a->bound)->bytes;
+    bytes_b = probe.get_or_plan(b->bound)->bytes;
+    EXPECT_EQ(probe.counters().bytes_resident, bytes_a + bytes_b);
+  }
+  ASSERT_GT(bytes_a, 0u);
+  ASSERT_GT(bytes_b, 0u);
+
+  // Budget that admits either alone but not both together: inserting B
+  // must evict A (the LRU victim), never hand out a dead entry.
+  KernelCache::Config cfg;
+  cfg.max_bytes = bytes_a + bytes_b - 1;
+  KernelCache cache(cfg);
+  const auto ea = cache.get_or_plan(a->bound);
+  const auto eb = cache.get_or_plan(b->bound);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.bytes_resident, bytes_b);
+  EXPECT_LE(c.bytes_resident, cfg.max_bytes);
+  // The evicted entry's shared_ptr stays valid for in-flight callers.
+  EXPECT_EQ(ea->kernel.to_string(), a->bound.kernel.to_string());
+  EXPECT_EQ(eb->kernel.to_string(), b->bound.kernel.to_string());
+}
+
+TEST(KernelCache, OversizedEntryServedButNeverAdmitted) {
+  // A single entry larger than the whole byte budget is planned, verified
+  // and served — but not inserted (no insert-then-evict churn).
+  auto inst = make_instance(kernel_case("mttkrp3"), 47);
+  KernelCache::Config cfg;
+  cfg.max_bytes = 1;  // nonzero: not pass-through, but nothing fits
+  KernelCache cache(cfg);
+  const auto e = cache.get_or_plan(inst->bound);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(cache.counters().entries, 0u);
+  EXPECT_EQ(cache.counters().inserts, 0u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(KernelCache, TtlExpiresEntries) {
+  auto inst = make_instance(kernel_case("mttkrp3"), 48);
+  KernelCache::Config cfg;
+  cfg.ttl = std::chrono::milliseconds(1);
+  KernelCache cache(cfg);
+  (void)cache.get_or_plan(inst->bound);
+  EXPECT_EQ(cache.counters().entries, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  bool was_cached = true;
+  (void)cache.get_or_plan(inst->bound, {}, &was_cached);
+  EXPECT_FALSE(was_cached);  // expired, replanned
+  const auto c = cache.counters();
+  EXPECT_GE(c.expired, 1u);
+  EXPECT_EQ(c.planned, 2u);
 }
 
 }  // namespace

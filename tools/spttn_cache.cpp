@@ -1,0 +1,153 @@
+// spttn_cache: inspect and prewarm on-disk plan cache directories
+// (KernelCache::save_dir / load_dir artifacts).
+//
+//   spttn_cache --dir=plans --prewarm   # plan the paper suite, save it
+//   spttn_cache --dir=plans             # list the artifacts in the dir
+//   spttn_cache --dir=plans --check     # also re-verify every artifact
+//
+// Prewarm plans every paper-suite kernel (deterministic tensors from
+// --seed, the same generator the tests and benches use) through a
+// KernelCache and persists the resident set, so a serving process pointed
+// at the directory starts with zero planner searches. Inspect prints one
+// line per artifact: kernel, extents, sparsity fingerprint, cost, and the
+// estimated resident bytes the byte budget would charge for it.
+//
+// Exit code: 0 when every artifact processed cleanly, 1 otherwise.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/kernel_suite.hpp"
+#include "analysis/plan_verifier.hpp"
+#include "core/plan_io.hpp"
+#include "serve/kernel_cache.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using spttn::KernelCache;
+
+int prewarm(const std::string& dir, const std::string& filter,
+            std::uint64_t seed) {
+  KernelCache cache;
+  int planned = 0;
+  for (const spttn::SuiteKernel& sk : spttn::paper_kernel_suite()) {
+    if (!filter.empty() && sk.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    const auto inst = spttn::make_suite_instance(sk, seed);
+    const auto entry = cache.get_or_plan(inst->bound);
+    ++planned;
+    std::printf("planned  %-12s cost=%.3g flops=%.3g bytes=%zu\n",
+                sk.name.c_str(), entry->plan.cost.primary, entry->plan.flops,
+                entry->bytes);
+  }
+  const auto report = cache.save_dir(dir);
+  std::printf("saved %d artifact(s) to %s (%d rejected)\n", report.processed,
+              dir.c_str(), report.rejected);
+  for (const std::string& e : report.errors) {
+    std::fprintf(stderr, "  %s\n", e.c_str());
+  }
+  return planned > 0 && report.rejected == 0 ? 0 : 1;
+}
+
+int inspect(const std::string& dir, bool check) {
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file() && it->path().extension() == ".plan") {
+      files.push_back(it->path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "spttn_cache: cannot read '%s': %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  int bad = 0;
+  std::size_t total_bytes = 0;
+  for (const fs::path& path : files) {
+    try {
+      std::ifstream is(path, std::ios::binary);
+      SPTTN_CHECK_MSG(is.good(), "cannot open '" << path.string() << "'");
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      const spttn::LoadedPlan loaded = spttn::deserialize_plan(buf.str());
+
+      spttn::KernelSignature sig;
+      sig.expr = loaded.kernel.to_string();
+      std::string extents;
+      for (int id = 0; id < loaded.kernel.num_indices(); ++id) {
+        const std::int64_t d = loaded.kernel.index_dim(id);
+        sig.extents.push_back(d);
+        if (!extents.empty()) extents += "x";
+        extents += std::to_string(d);
+      }
+      const std::size_t bytes =
+          spttn::estimate_entry_bytes(sig, loaded.kernel, loaded.plan);
+      total_bytes += bytes;
+
+      std::string status = "ok";
+      if (check) {
+        const auto report =
+            spttn::verify_external_plan(loaded.kernel, loaded.plan);
+        if (!report.ok()) {
+          status = "VERIFY-FAIL";
+          ++bad;
+          std::fprintf(stderr, "%s:\n%s\n", path.filename().string().c_str(),
+                       report.to_string().c_str());
+        }
+      }
+      std::printf(
+          "%-28s %-11s %s  extents=%s fingerprint=%016llx cost=%.3g "
+          "bytes=%zu\n",
+          path.filename().string().c_str(), status.c_str(), sig.expr.c_str(),
+          extents.c_str(),
+          static_cast<unsigned long long>(loaded.plan.sparsity_fingerprint),
+          loaded.plan.cost.primary, bytes);
+    } catch (const std::exception& ex) {
+      ++bad;
+      std::printf("%-28s REJECTED    %s\n",
+                  path.filename().string().c_str(), ex.what());
+    }
+  }
+  std::printf("%zu artifact(s), %zu estimated resident byte(s), %d bad\n",
+              files.size(), total_bytes, bad);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spttn::Cli cli("spttn_cache");
+  const std::string* dir =
+      cli.add_string("dir", "plans", "plan cache directory");
+  const bool* do_prewarm = cli.add_bool(
+      "prewarm", false, "plan the paper suite and save it to --dir");
+  const bool* do_check = cli.add_bool(
+      "check", false, "re-run the plan verifier on every inspected artifact");
+  const std::string* filter = cli.add_string(
+      "kernel", "", "prewarm only suite kernels whose name contains this");
+  const std::int64_t* seed =
+      cli.add_int("seed", 42, "seed for the suite's random tensors");
+  cli.parse(argc, argv);
+
+  try {
+    if (*do_prewarm) {
+      return prewarm(*dir, *filter, static_cast<std::uint64_t>(*seed));
+    }
+    return inspect(*dir, *do_check);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "spttn_cache: %s\n", ex.what());
+    return 1;
+  }
+}
