@@ -112,10 +112,11 @@ struct Output {
 };
 
 /// SpTTN-Cyclops: plan (excluded from timing, reported separately) + fused
-/// execution.
+/// execution on the requested tier (lowered by default, matching ExecArgs).
 inline RunResult run_spttn(const Problem& p, int reps,
                            const PlannerOptions& options = {},
-                           Plan* plan_out = nullptr) {
+                           Plan* plan_out = nullptr,
+                           ExecTier tier = ExecTier::kLowered) {
   RunResult r;
   try {
     const Plan plan = plan_kernel(p.bound, options);
@@ -127,6 +128,7 @@ inline RunResult run_spttn(const Problem& p, int reps,
     args.dense = p.bound.dense;
     args.out_dense = o.sparse_vals.empty() ? &o.dense : nullptr;
     args.out_sparse = o.sparse_vals;
+    args.tier = tier;
     r.seconds = time_median([&] { exec.execute(args); }, reps);
     r.ok = true;
   } catch (const Error& e) {

@@ -1,72 +1,172 @@
-// Microbenchmarks of the internal BLAS-style kernels the executor offloads
-// inner loops to (google-benchmark). Not a paper figure; used to sanity-
-// check that the offload hooks sit on reasonably fast primitives.
-#include <benchmark/benchmark.h>
+// Execution-tier benchmark: the four paper kernel families (MTTKRP-3/4,
+// TTMc-3, TTTP-3) timed on ONE planned FusedExecutor under both tiers —
+// the recursive interpreter and the lowered flat program — against the
+// hand-specialized kernels of specialized.cpp as the tight-loop ceiling.
+// The lowered column is the tier the KernelCache serves by default; the
+// specialized column bounds how much headroom remains.
+//
+//   bench_kernels                     # table on stdout
+//   bench_kernels --json=out.json     # also emit the machine-readable run
+//                                     # (schema shared with bench_serve;
+//                                     # BENCH_kernels.json is a checked-in
+//                                     # Release run)
+#include <fstream>
 
-#include <vector>
+#include "bench_common.hpp"
+#include "util/cli.hpp"
 
-#include "exec/kernels.hpp"
-#include "util/rng.hpp"
+using namespace spttn;
+using namespace spttn::bench;
 
 namespace {
 
-std::vector<double> rand_vec(std::size_t n) {
-  spttn::Rng rng(n);
-  std::vector<double> v(n);
-  for (double& x : v) x = 2 * rng.next_double() - 1;
-  return v;
-}
+struct KernelRow {
+  std::string kernel;
+  std::int64_t nnz = 0;
+  int lowered_regions = 0;
+  double interp_s = 0;
+  double lowered_s = 0;
+  double spec_s = 0;  // 0 when no specialized implementation applies
+};
 
-void BM_xaxpy(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto x = rand_vec(static_cast<std::size_t>(n));
-  auto y = rand_vec(static_cast<std::size_t>(n));
-  for (auto _ : state) {
-    spttn::xaxpy(n, 1.000001, x.data(), 1, y.data(), 1);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+/// Time one executor under a tier; the plan (and the partitioning it
+/// implies) is shared across tiers so the comparison isolates dispatch.
+double time_tier(FusedExecutor& exec, const Problem& p, Output& o,
+                 ExecTier tier, int reps) {
+  ExecArgs args;
+  args.sparse = &p.bound.csf;
+  args.dense = p.bound.dense;
+  args.out_dense = o.sparse_vals.empty() ? &o.dense : nullptr;
+  args.out_sparse = o.sparse_vals;
+  args.tier = tier;
+  return time_median([&] { exec.execute(args); }, reps);
 }
-BENCHMARK(BM_xaxpy)->Range(1 << 4, 1 << 12);
-
-void BM_xdot(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto x = rand_vec(static_cast<std::size_t>(n));
-  const auto y = rand_vec(static_cast<std::size_t>(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(spttn::xdot(n, x.data(), 1, y.data(), 1));
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_xdot)->Range(1 << 4, 1 << 12);
-
-void BM_xger(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto x = rand_vec(static_cast<std::size_t>(n));
-  const auto y = rand_vec(static_cast<std::size_t>(n));
-  auto a = rand_vec(static_cast<std::size_t>(n * n));
-  for (auto _ : state) {
-    spttn::xger(n, n, 1.0, x.data(), 1, y.data(), 1, a.data(), n, 1);
-    benchmark::DoNotOptimize(a.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n);
-}
-BENCHMARK(BM_xger)->Range(1 << 4, 1 << 8);
-
-void BM_xgemm(benchmark::State& state) {
-  const auto n = static_cast<std::int64_t>(state.range(0));
-  const auto a = rand_vec(static_cast<std::size_t>(n * n));
-  const auto b = rand_vec(static_cast<std::size_t>(n * n));
-  auto c = rand_vec(static_cast<std::size_t>(n * n));
-  for (auto _ : state) {
-    spttn::xgemm(n, n, n, 1.0, a.data(), n, 1, b.data(), n, 1, c.data(), n,
-                 1);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_xgemm)->Range(1 << 4, 1 << 7);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Cli cli("bench_kernels");
+  const auto* dim = cli.add_int("dim", 96, "sparse index extents");
+  const auto* rank = cli.add_int("rank", 32, "dense ranks");
+  const auto* nnz = cli.add_int("nnz", 300000, "sparse nonzeros (pre-dedup)");
+  const auto* reps = cli.add_int("reps", 5, "timing repetitions");
+  const auto* seed = cli.add_int("seed", 17, "generator seed");
+  const std::string* json =
+      cli.add_string("json", "", "also write results to this JSON file");
+  cli.parse(argc, argv);
+
+  const std::int64_t d = *dim;
+  const auto dims3 = std::vector<std::int64_t>{d, d, d};
+  const auto dims4 = std::vector<std::int64_t>{d / 4, d / 4, d / 4, d / 4};
+  const std::vector<std::pair<std::string, std::int64_t>> ranks = {
+      {"r", *rank}, {"s", *rank}};
+
+  struct Spec {
+    std::string name;
+    std::string expr;
+    const std::vector<std::int64_t>* dims;
+  };
+  const std::vector<Spec> specs = {
+      {"mttkrp3", mttkrp3_expr(), &dims3},
+      {"mttkrp4", mttkrp4_expr(), &dims4},
+      {"ttmc3", ttmc3_expr(), &dims3},
+      {"tttp3", tttp3_expr(), &dims3},
+  };
+
+  std::vector<KernelRow> rows;
+  Table table(strfmt("Execution tiers — interpreted vs lowered vs "
+                     "specialized, R=%lld",
+                     static_cast<long long>(*rank)));
+  table.set_header({"kernel", "nnz", "regions", "interp[s]", "lowered[s]",
+                    "spec[s]", "lowered vs interp", "spec vs lowered"});
+  for (const Spec& s : specs) {
+    Rng rng(static_cast<std::uint64_t>(*seed) ^
+            hash_mix(s.name.size() * 31));
+    CooTensor t = random_coo(*s.dims, *nnz, rng);
+    auto p = make_problem(s.expr, std::move(t), ranks, rng);
+
+    const Plan plan = plan_kernel(p->bound, {});
+    FusedExecutor exec(p->kernel(), plan);
+    Output o = Output::make(*p);
+
+    KernelRow row;
+    row.kernel = s.name;
+    row.nnz = p->sparse.nnz();
+    row.lowered_regions = exec.lowered_regions();
+    const int r = static_cast<int>(*reps);
+    row.interp_s = time_tier(exec, *p, o, ExecTier::kInterpret, r);
+    row.lowered_s = time_tier(exec, *p, o, ExecTier::kLowered, r);
+
+    // The hand-specialized ceilings (specialized.cpp).
+    if (s.name == "mttkrp3") {
+      row.spec_s = time_median(
+          [&] {
+            splatt_mttkrp3(p->bound.csf, p->factors[0], p->factors[1],
+                           &o.dense);
+          },
+          r);
+    } else if (s.name == "mttkrp4") {
+      row.spec_s = time_median(
+          [&] {
+            splatt_mttkrp4(p->bound.csf, p->factors[0], p->factors[1],
+                           p->factors[2], &o.dense);
+          },
+          r);
+    } else if (s.name == "ttmc3") {
+      row.spec_s = time_median(
+          [&] {
+            ttmc3_specialized(p->bound.csf, p->factors[0], p->factors[1],
+                              &o.dense);
+          },
+          r);
+    } else if (s.name == "tttp3") {
+      row.spec_s = time_median(
+          [&] {
+            tttp3_specialized(p->bound.csf, p->factors[0], p->factors[1],
+                              p->factors[2], o.sparse_vals);
+          },
+          r);
+    }
+
+    const auto ratio = [](double base, double ours) -> std::string {
+      if (base <= 0 || ours <= 0) return "-";
+      return strfmt("%.2fx", base / ours);
+    };
+    table.add_row({row.kernel,
+                   human_count(static_cast<double>(row.nnz)),
+                   std::to_string(row.lowered_regions),
+                   strfmt("%.4f", row.interp_s),
+                   strfmt("%.4f", row.lowered_s),
+                   row.spec_s > 0 ? strfmt("%.4f", row.spec_s) : "-",
+                   ratio(row.interp_s, row.lowered_s),
+                   ratio(row.lowered_s, row.spec_s)});
+    rows.push_back(row);
+  }
+  table.add_note("one plan per kernel; both tiers share the executor, the "
+                 "partitioning, and the accumulation order (bit-identical "
+                 "outputs)");
+  table.print(std::cout);
+
+  if (!json->empty()) {
+    std::ofstream os(*json);
+    os << "{\n  \"bench\": \"bench_kernels\",\n  \"unit\": \"s\",\n"
+       << "  \"dim\": " << d << ",\n  \"rank\": " << *rank
+       << ",\n  \"reps\": " << *reps << ",\n  \"seed\": " << *seed
+       << ",\n  \"kernels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const KernelRow& r = rows[i];
+      os << "    {\"kernel\": \"" << r.kernel << "\", \"nnz\": " << r.nnz
+         << ", \"lowered_regions\": " << r.lowered_regions
+         << ", \"interpreted_s\": " << strfmt("%.6f", r.interp_s)
+         << ", \"lowered_s\": " << strfmt("%.6f", r.lowered_s)
+         << ", \"specialized_s\": "
+         << (r.spec_s > 0 ? strfmt("%.6f", r.spec_s) : std::string("null"))
+         << ", \"lowered_speedup\": "
+         << strfmt("%.3f", r.lowered_s > 0 ? r.interp_s / r.lowered_s : 0)
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << *json << "\n";
+  }
+  return 0;
+}

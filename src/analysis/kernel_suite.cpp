@@ -82,4 +82,33 @@ std::unique_ptr<SuiteInstance> make_suite_instance(const SuiteKernel& sk,
   return out;
 }
 
+const std::vector<LintOptionSet>& lint_option_sets() {
+  static const std::vector<LintOptionSet> sets = [] {
+    std::vector<LintOptionSet> s;
+    s.push_back({"default", {}});
+    {
+      PlannerOptions o;
+      o.buffer_dim_bound = 1;  // forces the relaxation loop on most kernels
+      s.push_back({"bound1", o});
+    }
+    {
+      PlannerOptions o;
+      o.cost = CostKind::kCacheMiss;
+      s.push_back({"cache-miss", o});
+    }
+    {
+      PlannerOptions o;
+      o.cost = CostKind::kMaxBufferSize;
+      s.push_back({"max-buffer-size", o});
+    }
+    {
+      PlannerOptions o;
+      o.cost = CostKind::kMaxBufferDim;
+      s.push_back({"max-buffer-dim", o});
+    }
+    return s;
+  }();
+  return sets;
+}
+
 }  // namespace spttn

@@ -51,4 +51,16 @@ struct SuiteInstance {
 std::unique_ptr<SuiteInstance> make_suite_instance(const SuiteKernel& sk,
                                                    std::uint64_t seed);
 
+/// One named planner-option set of the lint sweep.
+struct LintOptionSet {
+  std::string name;
+  PlannerOptions options;
+};
+
+/// The planner option sets spttn_lint sweeps (default, bound1 forcing the
+/// relaxation loop, and one per alternative cost model). Shared with the
+/// lowered-vs-interpreted differential tests so "every paper kernel under
+/// every lint option set" means the same sweep everywhere.
+const std::vector<LintOptionSet>& lint_option_sets();
+
 }  // namespace spttn

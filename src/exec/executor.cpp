@@ -4,52 +4,22 @@
 #include <sstream>
 #include <utility>
 
+#include "exec/compiled_program.hpp"
 #include "exec/kernels.hpp"
+#include "exec/lower.hpp"
+#include "exec/lowered_program.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spttn {
 
-namespace {
-
-/// Where an operand's data lives.
-enum class Base {
-  kDense,      ///< a dense input tensor
-  kBuffer,     ///< an intermediate buffer
-  kSparseVal,  ///< the CSF leaf value of the sparse input
-  kOutDense,   ///< the dense kernel output
-  kOutSparse,  ///< the pattern-aligned sparse output values
-};
-
-/// Compiled strided access: offset = sum over outer (idx value * stride),
-/// then `inner` strides advance through any collapsed trailing loops.
-struct CAccess {
-  Base base = Base::kDense;
-  int id = 0;  ///< dense input position or producing-term buffer id
-  std::vector<std::pair<int, std::int64_t>> outer;
-  std::vector<std::int64_t> inner;  ///< aligned with CTerm::extent
-};
-
-struct CTerm {
-  CAccess lhs, rhs, out;
-  std::vector<std::int64_t> extent;  ///< trailing collapsed dense loops
-  int term_id = 0;
-};
-
-struct CActionRef {
-  enum class Kind { kLoop, kTerm, kReset } kind;
-  int id;
-};
-
-struct CLoop {
-  int index = -1;
-  bool sparse = false;
-  int csf_level = -1;
-  std::int64_t extent = 0;  ///< dense trip count (unused for CSF loops)
-  std::vector<CActionRef> body;
-};
-
-}  // namespace
+// The compiled-program IR lives in exec/compiled_program.hpp, shared with
+// the lowering tier; the interpreter below keeps its unqualified spelling.
+using cprog::Base;
+using cprog::CAccess;
+using cprog::CActionRef;
+using cprog::CLoop;
+using cprog::CTerm;
 
 struct FusedExecutor::Impl {
   Kernel kernel;  // copy: plans outlive callers' kernels
@@ -62,6 +32,11 @@ struct FusedExecutor::Impl {
   std::vector<std::int64_t> buffer_len;  // element counts per producing term
   int offloaded_terms = 0;
   int collapsed_loops = 0;
+
+  /// Lowered form of the same program (lower.cpp), built at construction.
+  /// Execution picks the tier per call (ExecArgs::tier); `low.loop_of`
+  /// says which loops have a lowered implementation.
+  lowered::LoweredProgram low;
 
   bool collapse_dense = true;
 
@@ -112,7 +87,63 @@ struct FusedExecutor::Impl {
     std::vector<const double*> dense_data;
     double* out_dense_data = nullptr;
     double* out_sparse_data = nullptr;
+    /// Tier for this execution (copied from ExecArgs; worker runtimes
+    /// inherit it so parallel tasks dispatch identically).
+    ExecTier tier = ExecTier::kInterpret;
   };
+
+  /// Bind the lowered program to one runtime: resolve every interned slot
+  /// to its base pointer. Cheap (slots are few); built at each lowered
+  /// region dispatch.
+  lowered::ExecCtx make_ctx(Runtime& rt) const {
+    lowered::ExecCtx ctx;
+    ctx.idx_val = rt.idx_val.data();
+    ctx.csf_node = rt.csf_node.data();
+    ctx.csf = rt.csf;
+    ctx.leaf_level = static_cast<std::int32_t>(rt.csf_node.size()) - 1;
+    for (std::size_t s = 0; s < low.slots.size(); ++s) {
+      const lowered::SlotSource& src = low.slots[s];
+      double* p = nullptr;
+      switch (src.base) {
+        case Base::kDense:
+          p = const_cast<double*>(
+              rt.dense_data[static_cast<std::size_t>(src.id)]);
+          break;
+        case Base::kBuffer:
+          p = rt.buffers[static_cast<std::size_t>(src.id)];
+          break;
+        case Base::kSparseVal:
+          p = const_cast<double*>(rt.csf->vals().data());
+          break;
+        case Base::kOutDense:
+          p = rt.out_dense_data;
+          break;
+        case Base::kOutSparse:
+          p = rt.out_sparse_data;
+          break;
+      }
+      ctx.table[s] = p;
+    }
+    return ctx;
+  }
+
+  /// Tier dispatch for one loop over [begin, end): the single point both
+  /// the sequential walk and every parallel task (root chunks and nested
+  /// second-level splits) go through, so partitioning is tier-agnostic.
+  void run_loop_range(Runtime& rt, int loop_id, std::int64_t begin,
+                      std::int64_t end) const {
+    const std::int32_t li = low.loop_of[static_cast<std::size_t>(loop_id)];
+    if (rt.tier == ExecTier::kLowered && li >= 0) {
+      lowered::ExecCtx ctx = make_ctx(rt);
+      lowered::run_loop(low, ctx, li, begin, end);
+      return;
+    }
+    run_loop(rt, loops[static_cast<std::size_t>(loop_id)], begin, end);
+  }
+
+  cprog::CompiledView view() const {
+    return {loops, terms, top, buffer_len, kernel.sparse_ref().order()};
+  }
 
   /// Build a runtime. Buffers marked shared alias `shared` storage (one
   /// allocation all workers see, writes disjoint by construction); the rest
@@ -173,6 +204,7 @@ FusedExecutor::FusedExecutor(const Kernel& kernel,
   impl_->tree = LoopTree::build(kernel, path, order);
   impl_->compile(order);
   impl_->analyze_parallel();
+  impl_->low = lower_program(impl_->view(), LowerLimits{});
 }
 
 FusedExecutor::FusedExecutor(const Kernel& kernel, const Plan& plan)
@@ -188,6 +220,37 @@ const LoopTree& FusedExecutor::tree() const { return impl_->tree; }
 int FusedExecutor::offloaded_terms() const { return impl_->offloaded_terms; }
 int FusedExecutor::collapsed_loops() const { return impl_->collapsed_loops; }
 bool FusedExecutor::collapse_dense() const { return impl_->collapse_dense; }
+
+int FusedExecutor::lowered_regions() const {
+  return impl_->low.lowered_root_regions;
+}
+
+std::size_t FusedExecutor::program_bytes() const {
+  const Impl& im = *impl_;
+  std::size_t b = 0;
+  b += im.loops.capacity() * sizeof(CLoop);
+  for (const CLoop& l : im.loops) {
+    b += l.body.capacity() * sizeof(CActionRef);
+  }
+  b += im.terms.capacity() * sizeof(CTerm);
+  for (const CTerm& t : im.terms) {
+    for (const CAccess* a : {&t.lhs, &t.rhs, &t.out}) {
+      b += a->outer.capacity() * sizeof(std::pair<int, std::int64_t>);
+      b += a->inner.capacity() * sizeof(std::int64_t);
+    }
+    b += t.extent.capacity() * sizeof(std::int64_t);
+  }
+  b += im.top.capacity() * sizeof(CActionRef);
+  b += im.buffer_len.capacity() * sizeof(std::int64_t);
+  b += im.top_meta.capacity() * sizeof(Impl::TopMeta);
+  b += im.buffer_shared.capacity() * sizeof(char);
+  b += im.low.bytes();
+  return b;
+}
+
+void FusedExecutor::relower(const LowerLimits& limits) {
+  impl_->low = lower_program(impl_->view(), limits);
+}
 
 std::vector<FusedExecutor::ParallelRegionInfo>
 FusedExecutor::parallel_regions() const {
@@ -662,7 +725,7 @@ void FusedExecutor::Impl::run_action(Runtime& rt, const CActionRef& a) const {
       } else {
         end = loop.extent;
       }
-      run_loop(rt, loop, begin, end);
+      run_loop_range(rt, a.id, begin, end);
       break;
     }
   }
@@ -757,6 +820,7 @@ void FusedExecutor::execute(const ExecArgs& args) {
   }
 
   rt.csf = &csf;
+  rt.tier = args.tier;
 
   if (want_threads > 1) {
     im.execute_parallel(rt, args, want_threads, shared_bufs, args.stats);
@@ -773,6 +837,9 @@ void FusedExecutor::execute(const ExecArgs& args) {
     st.threads_requested = want_threads;
     st.threads_used = 1;
     st.total_regions = im.num_root_regions;
+    st.tier = args.tier;
+    st.lowered_regions =
+        args.tier == ExecTier::kLowered ? im.low.lowered_root_regions : 0;
     *args.stats = st;
   }
 }
@@ -873,6 +940,9 @@ void FusedExecutor::Impl::execute_parallel(
   st.populated = true;
   st.threads_requested = want_threads;
   st.total_regions = num_root_regions;
+  st.tier = rt.tier;
+  st.lowered_regions =
+      rt.tier == ExecTier::kLowered ? low.lowered_root_regions : 0;
   const CsfTensor& csf = *rt.csf;
   const std::int64_t dense_out_len =
       rt.out_dense_data != nullptr && args.out_dense != nullptr
@@ -1166,6 +1236,7 @@ void FusedExecutor::Impl::execute_parallel(
       wrt.csf = rt.csf;
       wrt.out_dense_data = rt.out_dense_data;
       wrt.out_sparse_data = rt.out_sparse_data;
+      wrt.tier = rt.tier;
       if (!dense_direct) {
         auto& p = dense_partial[static_cast<std::size_t>(c)];
         p.assign(static_cast<std::size_t>(dense_out_len), 0.0);
@@ -1178,7 +1249,7 @@ void FusedExecutor::Impl::execute_parallel(
       }
       const ParTask& task = tasks[static_cast<std::size_t>(c)];
       if (task.inner_begin < 0) {
-        run_loop(wrt, root, task.root_begin, task.root_end);
+        run_loop_range(wrt, a.id, task.root_begin, task.root_end);
       } else {
         // Nested task: bind the single root position, then run the second
         // loop over the narrowed range (the root body is exactly this
@@ -1192,7 +1263,8 @@ void FusedExecutor::Impl::execute_parallel(
           wrt.idx_val[static_cast<std::size_t>(root.index)] =
               task.root_begin;
         }
-        run_loop(wrt, *inner, task.inner_begin, task.inner_end);
+        run_loop_range(wrt, meta.inner_loop, task.inner_begin,
+                       task.inner_end);
       }
     });
 

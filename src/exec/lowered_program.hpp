@@ -1,0 +1,173 @@
+// Lowered execution tier: flat, pre-resolved programs (ROADMAP item 1, the
+// CoNST direction).
+//
+// The interpreter pays, per nonzero, a recursive run_action walk, a Kind
+// switch, and an operand resolve that re-sums (index, stride) pairs — all
+// determined entirely by the plan before the first nonzero is touched. The
+// lowerer (lower.cpp) runs once at compile time and emits this IR instead:
+//
+//  - operands carry an interned base-pointer slot plus at most kMaxDeps
+//    pre-split (index, stride) dependencies, so addressing is a short
+//    fixed-bound loop over a std::array instead of vector walks;
+//  - every term's innermost kernel (dot / axpy / hadamard, unit or generic
+//    stride) is selected at lower time (InnerKind), so the per-call stride
+//    inspection in run_inner disappears;
+//  - a sparse loop whose body is exactly one term fuses into an LChain: one
+//    tight loop over the nonzero range with branchless per-operand
+//    addressing `invariant_base + idx[p]*idx_mult + p*leaf_mult`, dispatched
+//    through a template instantiation per InnerKind so the kernel switch is
+//    hoisted out of the nonzero loop entirely.
+//
+// Anything the lowerer cannot prove it handles stays with the interpreter:
+// lowering is per top-level region (and per sub-loop), and the executor
+// falls back node by node. Numerical contract: every lowered kernel mirrors
+// the interpreter's exact accumulation order (the kernels.cpp loops), so
+// lowered and interpreted runs are bit-identical, sequential or threaded.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/compiled_program.hpp"
+
+namespace spttn {
+class CsfTensor;
+}  // namespace spttn
+
+namespace spttn::lowered {
+
+/// Max pre-resolved (index, stride) dependencies per operand; accesses with
+/// more outer indices fall back to the interpreter.
+inline constexpr int kMaxDeps = 4;
+/// Max collapsed trailing dense levels per term (innermost kernel plus
+/// kMaxTermLevels - 1 outer strided levels).
+inline constexpr int kMaxTermLevels = 4;
+/// Max interned base pointers per program (dense inputs, buffers, sparse
+/// values, outputs). Paper kernels use < 10.
+inline constexpr int kMaxSlots = 48;
+
+/// One pre-resolved outer dependency: add idx_val[idx] * stride.
+struct Dep {
+  std::int32_t idx = 0;
+  std::int64_t stride = 0;
+};
+
+/// A term operand with its base pointer interned into the slot table and
+/// outer offsets pre-split into a fixed-bound dependency array.
+struct Operand {
+  std::int32_t slot = 0;
+  /// Add the current CSF leaf node position (sparse values / sparse output).
+  bool leaf = false;
+  std::uint8_t ndeps = 0;
+  std::array<Dep, kMaxDeps> deps{};
+};
+
+/// Innermost kernel selected at lower time, mirroring the interpreter's
+/// run_inner dispatch (out-stride 0 => dot, lhs-stride 0 => axpy with lhs
+/// as alpha, rhs-stride 0 => axpy with rhs as alpha, else hadamard). The U
+/// variants are the unit-stride instantiations.
+enum class InnerKind : std::uint8_t {
+  kScalar,  ///< depth 0: *out += *lhs * *rhs
+  kDotU,
+  kDotG,
+  kAxpyLU,
+  kAxpyLG,
+  kAxpyRU,
+  kAxpyRG,
+  kHadU,
+  kHadG,
+};
+
+/// A lowered term: three operands, pre-selected innermost kernel over
+/// `n` elements with constant strides, and up to kMaxTermLevels - 1 outer
+/// collapsed dense levels run in the interpreter's nesting order.
+struct LTerm {
+  Operand lhs, rhs, out;
+  InnerKind inner = InnerKind::kScalar;
+  std::int64_t n = 0;                 ///< innermost trip count
+  std::int64_t ls = 0, rs = 0, os = 0;  ///< innermost strides
+  std::uint8_t outer_depth = 0;       ///< collapsed levels above the innermost
+  std::array<std::int64_t, kMaxTermLevels> oext{};
+  std::array<std::int64_t, kMaxTermLevels> ols{};
+  std::array<std::int64_t, kMaxTermLevels> ors{};
+  std::array<std::int64_t, kMaxTermLevels> oos{};
+};
+
+/// Fused sparse loop + single term: per operand, the loop-varying part of
+/// the address is idx[p] * idx_mult + p * leaf_mult (leaf_mult is 1 for
+/// leaf-addressed operands when the chain loop is the CSF leaf level, else
+/// 0); the loop-invariant part is resolved once before the nonzero loop.
+struct LChain {
+  std::int64_t l_idx = 0, l_leaf = 0;
+  std::int64_t r_idx = 0, r_leaf = 0;
+  std::int64_t o_idx = 0, o_leaf = 0;
+  std::int32_t term = 0;  ///< LTerm holding the invariant operand parts
+};
+
+/// Body statement of a generic lowered loop.
+struct LOp {
+  enum class Kind : std::uint8_t { kLoop, kTerm, kReset } kind;
+  std::int32_t id;
+};
+
+/// Pre-resolved buffer reset (memset run).
+struct LReset {
+  std::int32_t slot = 0;
+  std::int64_t len = 0;
+};
+
+struct LLoop {
+  std::int32_t index = -1;
+  bool sparse = false;
+  std::int32_t csf_level = -1;
+  std::int64_t extent = 0;  ///< dense trip count (unused for CSF loops)
+  bool is_chain = false;
+  LChain chain{};
+  std::vector<LOp> body;  ///< empty when is_chain
+};
+
+/// Where a slot's base pointer comes from (bound per execution from the
+/// worker Runtime).
+struct SlotSource {
+  cprog::Base base = cprog::Base::kDense;
+  std::int32_t id = 0;
+};
+
+/// The lowered program. `loop_of` maps every compiled loop id to its
+/// lowered counterpart (-1 when that subtree stays interpreted); the
+/// executor consults it at each dispatch point, so a program may run mixed
+/// — lowered regions inline, rejected regions through the interpreter.
+struct LoweredProgram {
+  std::vector<LLoop> loops;
+  std::vector<LTerm> terms;
+  std::vector<LReset> resets;
+  std::vector<SlotSource> slots;
+  std::vector<std::int32_t> loop_of;
+  /// Top-level kLoop regions whose whole subtree lowered.
+  int lowered_root_regions = 0;
+
+  /// Heap footprint of this program (for cache byte budgeting).
+  std::size_t bytes() const;
+};
+
+/// Per-execution binding of a lowered program to one worker's runtime
+/// state: raw pointers into the Runtime's index/node arrays plus the
+/// resolved slot table. Cheap to build (one pass over `slots`).
+struct ExecCtx {
+  std::int64_t* idx_val = nullptr;
+  std::int64_t* csf_node = nullptr;
+  const CsfTensor* csf = nullptr;
+  std::int32_t leaf_level = 0;
+  std::array<double*, kMaxSlots> table{};
+};
+
+/// Run lowered loop `loop` over [begin, end) — node range for sparse loops,
+/// index range for dense ones. The caller supplies the range exactly as it
+/// does for the interpreter's run_loop, so parallel partitioning (root
+/// chunks, nested second-level splits) is tier-agnostic.
+void run_loop(const LoweredProgram& p, ExecCtx& ctx, std::int32_t loop,
+              std::int64_t begin, std::int64_t end);
+
+}  // namespace spttn::lowered

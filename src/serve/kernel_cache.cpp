@@ -44,10 +44,11 @@ std::uint64_t planner_options_hash(const PlannerOptions& options) {
   h = hash_mix(h ^ static_cast<std::uint64_t>(options.cache_d));
   h = hash_mix(h ^ (options.sparse_aware_cache ? 4u : 0u));
   h = hash_mix(h ^ static_cast<std::uint64_t>(options.max_paths_searched));
-  // search_threads and verify deliberately excluded: the parallel search
-  // returns a plan identical to the sequential one and verification never
-  // changes the plan (see PlannerOptions docs), so neither may fragment
-  // the cache.
+  // search_threads, verify, and lower deliberately excluded: the parallel
+  // search returns a plan identical to the sequential one, verification
+  // never changes the plan, and the execution tier is selected per run
+  // with bit-identical results (see PlannerOptions docs), so none may
+  // fragment the cache.
   return h;
 }
 
@@ -68,7 +69,8 @@ KernelSignature make_signature(const Kernel& kernel,
 }
 
 std::size_t estimate_entry_bytes(const KernelSignature& sig,
-                                 const Kernel& kernel, const Plan& plan) {
+                                 const Kernel& kernel, const Plan& plan,
+                                 const FusedExecutor* exec) {
   // Deliberately an estimate: the point is a byte budget that tracks the
   // actual heavy parts (the per-execution buffer working set dominates for
   // large-intermediate kernels; structure metadata dominates for tiny
@@ -99,10 +101,16 @@ std::size_t estimate_entry_bytes(const KernelSignature& sig,
          spec.indices.size() * sizeof(int) +
          spec.dims.size() * sizeof(std::int64_t);
   }
-  // Compiled executor: the flat program mirrors the tree's loops/actions
-  // (strides, access chains — roughly a cache line per action), plus the
-  // intermediate-buffer storage every execution materializes.
-  b += (plan.tree.nodes().size() + actions) * 64;
+  // Compiled executor: the exact program footprint when the caller hands
+  // us the compiled executor (interpreted action tree + lowered flat
+  // program); otherwise the historical per-action heuristic (roughly a
+  // cache line per loop/action). Plus the intermediate-buffer storage
+  // every execution materializes.
+  if (exec != nullptr) {
+    b += exec->program_bytes();
+  } else {
+    b += (plan.tree.nodes().size() + actions) * 64;
+  }
   b += static_cast<std::size_t>(plan.tree.total_buffer_size()) *
        sizeof(double);
   return b;
@@ -308,7 +316,8 @@ std::shared_ptr<const KernelCache::Entry> KernelCache::get_or_plan(
                     "kernel cache rejects unverifiable plan for "
                         << kernel.to_string() << ":\n"
                         << report.to_string());
-    entry->bytes = estimate_entry_bytes(entry->signature, kernel, entry->plan);
+    entry->bytes = estimate_entry_bytes(entry->signature, kernel,
+                                        entry->plan, entry->exec.get());
     published = impl_->publish(std::move(entry), /*replace=*/false);
   } catch (...) {
     {
@@ -357,8 +366,8 @@ std::shared_ptr<const KernelCache::Entry> KernelCache::put(
   entry->kernel = kernel;
   entry->plan = std::move(plan);
   entry->exec = std::make_shared<FusedExecutor>(kernel, entry->plan);
-  entry->bytes =
-      estimate_entry_bytes(entry->signature, kernel, entry->plan);
+  entry->bytes = estimate_entry_bytes(entry->signature, kernel, entry->plan,
+                                      entry->exec.get());
   return impl_->publish(std::move(entry), /*replace=*/true);
 }
 
@@ -485,7 +494,7 @@ KernelCache::DirReport KernelCache::load_dir(const std::string& dir) {
       sig.options_hash = options_hash;
       entry->signature = std::move(sig);
       entry->bytes = estimate_entry_bytes(entry->signature, entry->kernel,
-                                          entry->plan);
+                                          entry->plan, entry->exec.get());
       impl_->publish(std::move(entry), /*replace=*/false);
       report.processed += 1;
     } catch (const std::exception& ex) {
@@ -536,6 +545,7 @@ void run_plan(const BoundKernel& bound, KernelCache& cache,
   args.out_dense = out_dense;
   args.out_sparse = out_sparse;
   args.num_threads = num_threads;
+  args.tier = options.lower ? ExecTier::kLowered : ExecTier::kInterpret;
   entry->exec->execute(args);
 }
 

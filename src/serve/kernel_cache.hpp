@@ -227,9 +227,14 @@ class KernelCache {
 /// Estimated resident bytes of one cache entry: signature + kernel + plan
 /// (path, order, tree, buffers) structure sizes plus the compiled
 /// executor's program metadata and per-execution buffer working set.
-/// Exposed for tests and the spttn_cache inspect CLI.
+/// When `exec` is provided, its actual program footprint (the interpreted
+/// action tree plus the lowered flat program,
+/// FusedExecutor::program_bytes) replaces the per-action metadata
+/// heuristic, so max_bytes budgeting charges what the executor really
+/// holds. Exposed for tests and the spttn_cache inspect CLI.
 std::size_t estimate_entry_bytes(const KernelSignature& sig,
-                                 const Kernel& kernel, const Plan& plan);
+                                 const Kernel& kernel, const Plan& plan,
+                                 const FusedExecutor* exec = nullptr);
 
 /// Cache-aware planning: fetch or compute the plan for `bound`.
 Plan plan_kernel(const BoundKernel& bound, const PlannerOptions& options,

@@ -1,0 +1,207 @@
+// Differential suite for the lowered execution tier (exec/lower.hpp): the
+// flat pre-resolved programs must agree with the interpreter on every paper
+// kernel under every lint planner-option set, sequentially and under the
+// work-stealing pool — and not just to tolerance: the lowered kernels
+// mirror the interpreter's accumulation order, and partitioning is
+// tier-agnostic, so the comparison is for equality, which trivially
+// satisfies the 1e-12 acceptance bound. Also covers the forced-fallback
+// path (a rejected program still executes correctly through the
+// interpreter), ExecStats tier observability, and the serving-layer
+// contract that toggling PlannerOptions::lower never fragments the cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/kernel_suite.hpp"
+#include "exec/executor.hpp"
+#include "exec/lower.hpp"
+#include "serve/kernel_cache.hpp"
+#include "serve/session.hpp"
+#include "test_helpers.hpp"
+
+namespace spttn {
+namespace {
+
+using spttn::testing::ScopedLanes;
+
+struct TierRun {
+  DenseTensor dense;
+  std::vector<double> sparse;
+  ExecStats stats;
+};
+
+TierRun run_tier(FusedExecutor& exec, const SuiteInstance& inst,
+                 ExecTier tier, int threads) {
+  TierRun r;
+  ExecArgs args;
+  args.sparse = &inst.bound.csf;
+  args.dense = inst.bound.dense;
+  args.num_threads = threads;
+  args.tier = tier;
+  args.stats = &r.stats;
+  if (inst.bound.kernel.output_is_sparse()) {
+    r.sparse.assign(static_cast<std::size_t>(inst.bound.csf.nnz()), 0.0);
+    args.out_sparse = r.sparse;
+  } else {
+    r.dense = make_output(inst.bound);
+    args.out_dense = &r.dense;
+  }
+  exec.execute(args);
+  return r;
+}
+
+void expect_identical(const TierRun& a, const TierRun& b, const char* what) {
+  ASSERT_EQ(a.dense.size(), b.dense.size()) << what;
+  for (std::int64_t i = 0; i < a.dense.size(); ++i) {
+    EXPECT_EQ(a.dense.data()[i], b.dense.data()[i])
+        << what << " dense output diverges at " << i;
+  }
+  ASSERT_EQ(a.sparse.size(), b.sparse.size()) << what;
+  for (std::size_t i = 0; i < a.sparse.size(); ++i) {
+    EXPECT_EQ(a.sparse[i], b.sparse[i])
+        << what << " sparse output diverges at " << i;
+  }
+}
+
+TEST(LoweredDifferential, SequentialSuiteAcrossAllLintOptionSets) {
+  int total_lowered_regions = 0;
+  for (const SuiteKernel& sk : paper_kernel_suite()) {
+    const auto inst = make_suite_instance(sk, 42);
+    for (const LintOptionSet& set : lint_option_sets()) {
+      const std::string label = sk.name + " [" + set.name + "]";
+      const Plan plan =
+          make_plan(inst->bound.kernel, inst->bound.stats, set.options);
+      FusedExecutor exec(inst->bound.kernel, plan);
+      total_lowered_regions += exec.lowered_regions();
+      const TierRun interp =
+          run_tier(exec, *inst, ExecTier::kInterpret, /*threads=*/1);
+      const TierRun lowered =
+          run_tier(exec, *inst, ExecTier::kLowered, /*threads=*/1);
+      expect_identical(interp, lowered, label.c_str());
+      EXPECT_EQ(interp.stats.tier, ExecTier::kInterpret) << label;
+      EXPECT_EQ(interp.stats.lowered_regions, 0) << label;
+      EXPECT_EQ(lowered.stats.tier, ExecTier::kLowered) << label;
+      EXPECT_EQ(lowered.stats.lowered_regions, exec.lowered_regions())
+          << label;
+    }
+  }
+  // The lowerer must actually engage across the sweep, not pass vacuously
+  // by rejecting everything.
+  EXPECT_GT(total_lowered_regions, 0);
+}
+
+TEST(LoweredDifferential, ThreadedSuiteBitIdenticalAcrossTiersAndReruns) {
+  ScopedLanes lanes(4);
+  for (const SuiteKernel& sk : paper_kernel_suite()) {
+    const auto inst = make_suite_instance(sk, 42);
+    for (const LintOptionSet& set : lint_option_sets()) {
+      const std::string label = sk.name + " [" + set.name + "]";
+      const Plan plan =
+          make_plan(inst->bound.kernel, inst->bound.stats, set.options);
+      FusedExecutor exec(inst->bound.kernel, plan);
+      const TierRun interp =
+          run_tier(exec, *inst, ExecTier::kInterpret, /*threads=*/4);
+      const TierRun lowered =
+          run_tier(exec, *inst, ExecTier::kLowered, /*threads=*/4);
+      const TierRun rerun =
+          run_tier(exec, *inst, ExecTier::kLowered, /*threads=*/4);
+      // Same partition shape => bit-identical across tiers and reruns.
+      expect_identical(interp, lowered, label.c_str());
+      expect_identical(lowered, rerun, label.c_str());
+      // Sequential lowered agrees too (the deterministic tiled reduction
+      // makes threaded == sequential only when writes are direct, so only
+      // compare tiers at matching thread counts here).
+      EXPECT_EQ(lowered.stats.tier, ExecTier::kLowered) << label;
+    }
+  }
+}
+
+TEST(LoweredDifferential, ForcedFallbackExecutesThroughInterpreter) {
+  const auto& suite = paper_kernel_suite();
+  const auto inst = make_suite_instance(suite.front(), 7);  // mttkrp3
+  const Plan plan =
+      make_plan(inst->bound.kernel, inst->bound.stats, PlannerOptions{});
+  FusedExecutor exec(inst->bound.kernel, plan);
+  ASSERT_GT(exec.lowered_regions(), 0);
+  const TierRun before = run_tier(exec, *inst, ExecTier::kLowered, 1);
+
+  // Reject every operand with an outer index dependency: nothing lowers,
+  // and a kLowered execution must fall back to the interpreter wholesale.
+  LowerLimits strict;
+  strict.max_operand_deps = 0;
+  exec.relower(strict);
+  EXPECT_EQ(exec.lowered_regions(), 0);
+  const TierRun fallback = run_tier(exec, *inst, ExecTier::kLowered, 1);
+  EXPECT_EQ(fallback.stats.tier, ExecTier::kLowered);
+  EXPECT_EQ(fallback.stats.lowered_regions, 0);
+  expect_identical(before, fallback, "forced fallback");
+
+  // Chains disabled still lowers (generic loops only) and still agrees.
+  LowerLimits no_chains;
+  no_chains.enable_chains = false;
+  exec.relower(no_chains);
+  const TierRun generic = run_tier(exec, *inst, ExecTier::kLowered, 1);
+  expect_identical(before, generic, "chains disabled");
+
+  // Restoring the defaults restores the chain-fused program.
+  exec.relower(LowerLimits{});
+  EXPECT_GT(exec.lowered_regions(), 0);
+}
+
+TEST(LoweredDifferential, LowerKnobDoesNotFragmentCacheOrChangeResults) {
+  PlannerOptions on;
+  PlannerOptions off;
+  off.lower = false;
+  EXPECT_EQ(planner_options_hash(on), planner_options_hash(off));
+
+  const auto& suite = paper_kernel_suite();
+  const auto inst = make_suite_instance(suite.front(), 11);
+  KernelCache cache;
+  Session lowered_session(inst->sparse, on, &cache);
+  Session interp_session(inst->sparse, off, &cache);
+  std::vector<const DenseTensor*> slots;
+  for (const DenseTensor* d : inst->dense_slots()) {
+    if (d != nullptr) slots.push_back(d);
+  }
+  const std::string expr = inst->bound.kernel.to_string();
+  const int id_on = lowered_session.prepare(expr, slots);
+  const int id_off = interp_session.prepare(expr, slots);
+  // One planner search: the tier knob is excluded from the signature, so
+  // both sessions share a single cache entry (and its executor).
+  EXPECT_EQ(cache.counters().planned, 1u);
+
+  DenseTensor out_on = lowered_session.make_output(id_on);
+  DenseTensor out_off = interp_session.make_output(id_off);
+  lowered_session.run(id_on, &out_on, {});
+  interp_session.run(id_off, &out_off, {});
+  ASSERT_EQ(out_on.size(), out_off.size());
+  for (std::int64_t i = 0; i < out_on.size(); ++i) {
+    EXPECT_EQ(out_on.data()[i], out_off.data()[i]);
+  }
+}
+
+TEST(LoweredDifferential, EntryBytesAccountForTheCompiledPrograms) {
+  const auto& suite = paper_kernel_suite();
+  const auto inst = make_suite_instance(suite.front(), 13);
+  const PlannerOptions options;
+  const Plan plan =
+      make_plan(inst->bound.kernel, inst->bound.stats, options);
+  const FusedExecutor exec(inst->bound.kernel, plan);
+  EXPECT_GT(exec.program_bytes(), 0u);
+
+  const KernelSignature sig =
+      make_signature(inst->bound.kernel, inst->bound.stats, options);
+  const std::size_t with_exec =
+      estimate_entry_bytes(sig, inst->bound.kernel, plan, &exec);
+  const std::size_t heuristic =
+      estimate_entry_bytes(sig, inst->bound.kernel, plan);
+  // The exec-aware estimate swaps the per-action heuristic for the real
+  // program footprint; both must include it (strictly more than the
+  // structure-only parts, i.e. nonzero either way).
+  EXPECT_GT(with_exec, exec.program_bytes());
+  EXPECT_GT(heuristic, 0u);
+}
+
+}  // namespace
+}  // namespace spttn

@@ -19,42 +19,6 @@
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
-namespace {
-
-struct OptionSet {
-  std::string name;
-  spttn::PlannerOptions options;
-};
-
-std::vector<OptionSet> option_sets() {
-  using spttn::CostKind;
-  std::vector<OptionSet> sets;
-  sets.push_back({"default", {}});
-  {
-    spttn::PlannerOptions o;
-    o.buffer_dim_bound = 1;  // forces the relaxation loop on most kernels
-    sets.push_back({"bound1", o});
-  }
-  {
-    spttn::PlannerOptions o;
-    o.cost = CostKind::kCacheMiss;
-    sets.push_back({"cache-miss", o});
-  }
-  {
-    spttn::PlannerOptions o;
-    o.cost = CostKind::kMaxBufferSize;
-    sets.push_back({"max-buffer-size", o});
-  }
-  {
-    spttn::PlannerOptions o;
-    o.cost = CostKind::kMaxBufferDim;
-    sets.push_back({"max-buffer-dim", o});
-  }
-  return sets;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   spttn::Cli cli("spttn_lint");
   const std::string* filter =
@@ -76,7 +40,9 @@ int main(int argc, char** argv) {
     }
     const auto inst = spttn::make_suite_instance(
         sk, static_cast<std::uint64_t>(*seed));
-    for (const OptionSet& set : option_sets()) {
+    // The option sets live in kernel_suite so the differential tests sweep
+    // exactly what the linter sweeps.
+    for (const spttn::LintOptionSet& set : spttn::lint_option_sets()) {
       ++planned;
       const std::string label = sk.name + " [" + set.name + "]";
       try {
