@@ -2,9 +2,13 @@
 // with identical mode sizes (paper: order-3 N=8192 / order-4 N=1024, 0.1%
 // sparsity, R=32; 64 MPI ranks per node).
 //
-// The distributed runtime is simulated: local kernels execute for real per
-// rank (max measured), collectives are charged to the alpha-beta model
-// (see src/dist/comm_model.hpp and EXPERIMENTS.md for constants).
+// Local kernels execute for real per rank (max measured); collectives flow
+// through a pluggable CommBackend selected with --backend: "modeled"
+// charges the alpha-beta model (see src/dist/comm_model.hpp and
+// EXPERIMENTS.md for constants — the paper's simulation-first methodology),
+// "shmem" moves real bytes on the process-wide pool and reports *measured*
+// collective seconds, turning Figure 8 from simulated into measured.
+#include "dist/comm_backend.hpp"
 #include "dist/dist_spttn.hpp"
 
 #include <algorithm>
@@ -106,33 +110,48 @@ void skew_scaling_table(const std::string& title,
                        *p, threads, reps);
 }
 
-/// Machine-readable rows for one scaling table (--json output).
+/// Machine-readable rows for one scaling table (--json output). The old
+/// schema's fields (comm_s, total_s, ...) are kept verbatim so
+/// tools/bench_diff can compare across the backend-era schema change.
 struct ScalingJson {
   std::string figure;
   std::string kernel;
+  std::string backend;
+  bool modeled = true;
   struct Row {
     int ranks = 0;
     std::string grid;
     double max_local_s = 0, comm_s = 0, total_s = 0, speedup = 0,
            imbalance = 0;
+    double allgather_s = 0, allreduce_s = 0;
+    std::int64_t allgather_bytes = 0, allreduce_bytes = 0;
+    int allgather_count = 0, allreduce_count = 0;
   };
   std::vector<Row> rows;
 };
 
 void scaling_table(const std::string& title, const Problem& p,
-                   const std::vector<int>& ranks, int local_threads,
-                   bool concurrent_ranks, ScalingJson* json = nullptr) {
-  Table table(title);
-  table.set_header({"ranks", "grid", "max-local[s]", "comm[s]", "total[s]",
-                    "speedup", "efficiency", "imbalance"});
+                   const std::vector<int>& ranks, const std::string& backend,
+                   int local_threads, bool concurrent_ranks,
+                   ScalingJson* json = nullptr) {
+  Table table(title + ", backend=" + backend);
+  table.set_header({"ranks", "grid", "max-local[s]", "allgather[s]",
+                    "allreduce[s]", "comm[s]", "total[s]", "speedup",
+                    "efficiency", "imbalance"});
   double t1 = 0;
+  bool modeled = true;
   for (int r : ranks) {
     DistSpttn dist(p.bound, r);
+    const auto comm = make_comm_backend(backend, r);
     const DistResult res =
-        dist.run({}, nullptr, {}, local_threads, concurrent_ranks);
+        dist.run(*comm, {}, nullptr, {}, local_threads, concurrent_ranks);
+    modeled = res.modeled;
+    const CommBreakdown ag = res.breakdown(CollectiveKind::kAllgather);
+    const CommBreakdown ar = res.breakdown(CollectiveKind::kAllreduce);
     if (r == ranks.front()) t1 = res.time();
     table.add_row({std::to_string(r), res.grid.describe(),
                    strfmt("%.4f", res.max_local_seconds),
+                   strfmt("%.5f", ag.seconds), strfmt("%.5f", ar.seconds),
                    strfmt("%.5f", res.comm_seconds),
                    strfmt("%.4f", res.time()),
                    strfmt("%.2fx", t1 / res.time()),
@@ -141,11 +160,19 @@ void scaling_table(const std::string& title, const Problem& p,
                                         static_cast<double>(ranks.front())),
                    strfmt("%.2f", res.imbalance)});
     if (json != nullptr) {
+      json->backend = res.backend;
+      json->modeled = res.modeled;
       json->rows.push_back({r, res.grid.describe(), res.max_local_seconds,
                             res.comm_seconds, res.time(), t1 / res.time(),
-                            res.imbalance});
+                            res.imbalance, ag.seconds, ar.seconds, ag.bytes,
+                            ar.bytes, ag.count, ar.count});
     }
   }
+  table.add_note(modeled
+                     ? "collectives charged to the alpha-beta model "
+                       "(simulated; the paper's methodology)"
+                     : "collectives measured around real buffer movement "
+                       "(per-rank factor replicas, tiled partial reduce)");
   table.add_note("paper Fig. 8: near-linear scaling for all three kernels");
   table.print(std::cout);
 }
@@ -157,7 +184,9 @@ void write_fig8_json(const std::string& path,
      << "  \"figures\": [\n";
   for (std::size_t f = 0; f < figs.size(); ++f) {
     os << "    {\"figure\": \"" << figs[f].figure << "\", \"kernel\": \""
-       << figs[f].kernel << "\", \"rows\": [\n";
+       << figs[f].kernel << "\", \"backend\": \"" << figs[f].backend
+       << "\", \"modeled\": " << (figs[f].modeled ? "true" : "false")
+       << ", \"rows\": [\n";
     for (std::size_t i = 0; i < figs[f].rows.size(); ++i) {
       const auto& r = figs[f].rows[i];
       os << "      {\"ranks\": " << r.ranks << ", \"grid\": \"" << r.grid
@@ -165,7 +194,13 @@ void write_fig8_json(const std::string& path,
          << ", \"comm_s\": " << strfmt("%.6f", r.comm_s) << ", \"total_s\": "
          << strfmt("%.6f", r.total_s) << ", \"speedup\": "
          << strfmt("%.3f", r.speedup) << ", \"imbalance\": "
-         << strfmt("%.3f", r.imbalance) << "}"
+         << strfmt("%.3f", r.imbalance)
+         << ",\n       \"allgather_s\": " << strfmt("%.6f", r.allgather_s)
+         << ", \"allgather_bytes\": " << r.allgather_bytes
+         << ", \"allgather_count\": " << r.allgather_count
+         << ", \"allreduce_s\": " << strfmt("%.6f", r.allreduce_s)
+         << ", \"allreduce_bytes\": " << r.allreduce_bytes
+         << ", \"allreduce_count\": " << r.allreduce_count << "}"
          << (i + 1 < figs[f].rows.size() ? "," : "") << "\n";
     }
     os << "    ]}" << (f + 1 < figs.size() ? "," : "") << "\n";
@@ -195,6 +230,11 @@ int main(int argc, char** argv) {
       "cores, so leave off for timing-faithful rows)");
   const auto* skew = cli.add_bool(
       "skew", true, "also run the skewed-root MTTKRP scaling table");
+  const std::string* backend_list = cli.add_string(
+      "backend", "modeled,shmem",
+      "comma-separated comm backends for the scaling tables: 'modeled' "
+      "(alpha-beta charged, simulated) and/or 'shmem' (real buffer "
+      "movement, measured collective seconds)");
   const auto* reps = cli.add_int("reps", 3, "timing repetitions per row");
   const auto* seed = cli.add_int("seed", 7, "generator seed");
   const std::string* json =
@@ -202,6 +242,9 @@ int main(int argc, char** argv) {
                      "output path for machine-readable rows ('' = skip)");
   cli.parse(argc, argv);
   std::vector<ScalingJson> json_figs;
+
+  const std::vector<std::string> backends = split(*backend_list, ',');
+  for (const std::string& b : backends) make_comm_backend(b, 1);  // validate
 
   std::vector<int> ranks;
   for (int r = 1; r <= *max_ranks; r *= 2) ranks.push_back(r);
@@ -220,24 +263,28 @@ int main(int argc, char** argv) {
     CooTensor t = random_coo({*n3, *n3, *n3}, nnz3, rng);
     auto p = make_problem(ttmc3_expr(), std::move(t),
                           {{"r", *rank}, {"s", *rank}}, rng);
-    scaling_table(strfmt("Figure 8(a) — TTMc strong scaling, order-3 N=%lld "
-                         "nnz=%lld R=%lld",
-                         static_cast<long long>(*n3),
-                         static_cast<long long>(p->sparse.nnz()),
-                         static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks,
-                  &json_figs.emplace_back(ScalingJson{"8a", "ttmc3", {}}));
+    for (const std::string& b : backends) {
+      scaling_table(strfmt("Figure 8(a) — TTMc strong scaling, order-3 "
+                           "N=%lld nnz=%lld R=%lld",
+                           static_cast<long long>(*n3),
+                           static_cast<long long>(p->sparse.nnz()),
+                           static_cast<long long>(*rank)),
+                    *p, ranks, b, *local_threads, *concurrent_ranks,
+                    &json_figs.emplace_back(ScalingJson{"8a", "ttmc3", b, true, {}}));
+    }
   }
   {
     CooTensor t = random_coo({*n4, *n4, *n4, *n4}, nnz4, rng);
     auto p = make_problem(mttkrp4_expr(), std::move(t), {{"r", *rank}}, rng);
-    scaling_table(strfmt("Figure 8(b) — MTTKRP strong scaling, order-4 "
-                         "N=%lld nnz=%lld R=%lld",
-                         static_cast<long long>(*n4),
-                         static_cast<long long>(p->sparse.nnz()),
-                         static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks,
-                  &json_figs.emplace_back(ScalingJson{"8b", "mttkrp4", {}}));
+    for (const std::string& b : backends) {
+      scaling_table(strfmt("Figure 8(b) — MTTKRP strong scaling, order-4 "
+                           "N=%lld nnz=%lld R=%lld",
+                           static_cast<long long>(*n4),
+                           static_cast<long long>(p->sparse.nnz()),
+                           static_cast<long long>(*rank)),
+                    *p, ranks, b, *local_threads, *concurrent_ranks,
+                    &json_figs.emplace_back(ScalingJson{"8b", "mttkrp4", b, true, {}}));
+    }
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(b') — MTTKRP shared-memory thread scaling, "
@@ -251,13 +298,15 @@ int main(int argc, char** argv) {
   {
     CooTensor t = random_coo({*n3, *n3, *n3}, nnz3, rng);
     auto p = make_problem(tttp3_expr(), std::move(t), {{"r", *rank}}, rng);
-    scaling_table(strfmt("Figure 8(c) — TTTP strong scaling, order-3 N=%lld "
-                         "nnz=%lld R=%lld",
-                         static_cast<long long>(*n3),
-                         static_cast<long long>(p->sparse.nnz()),
-                         static_cast<long long>(*rank)),
-                  *p, ranks, *local_threads, *concurrent_ranks,
-                  &json_figs.emplace_back(ScalingJson{"8c", "tttp3", {}}));
+    for (const std::string& b : backends) {
+      scaling_table(strfmt("Figure 8(c) — TTTP strong scaling, order-3 "
+                           "N=%lld nnz=%lld R=%lld",
+                           static_cast<long long>(*n3),
+                           static_cast<long long>(p->sparse.nnz()),
+                           static_cast<long long>(*rank)),
+                    *p, ranks, b, *local_threads, *concurrent_ranks,
+                    &json_figs.emplace_back(ScalingJson{"8c", "tttp3", b, true, {}}));
+    }
     if (!threads.empty() && threads.back() > 1) {
       thread_scaling_table(
           strfmt("Figure 8(c') — TTTP shared-memory thread scaling, "

@@ -1,20 +1,39 @@
 #include "dist/dist_spttn.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analysis/plan_verifier.hpp"
 #include "exec/executor.hpp"
-#include "exec/kernels.hpp"
 #include "serve/kernel_cache.hpp"
 #include "util/error.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace spttn {
 
+CommBreakdown DistResult::breakdown(CollectiveKind kind) const {
+  CommBreakdown b;
+  for (const CommEvent& ev : events) {
+    if (ev.kind != kind) continue;
+    ++b.count;
+    b.bytes += ev.bytes;
+    b.seconds += ev.seconds;
+  }
+  return b;
+}
+
 DistSpttn::DistSpttn(const BoundKernel& bound, int ranks, CommParams params)
     : bound_(&bound), ranks_(ranks), params_(params) {
   SPTTN_CHECK_MSG(ranks >= 1, "rank count must be positive, got " << ranks);
+  SPTTN_CHECK_MSG(std::isfinite(params.alpha_seconds) &&
+                      params.alpha_seconds >= 0.0,
+                  "CommParams::alpha_seconds must be finite and >= 0, got "
+                      << params.alpha_seconds);
+  SPTTN_CHECK_MSG(
+      std::isfinite(params.beta_seconds_per_byte) &&
+          params.beta_seconds_per_byte >= 0.0,
+      "CommParams::beta_seconds_per_byte must be finite and >= 0, got "
+          << params.beta_seconds_per_byte);
   SPTTN_CHECK_MSG(bound.coo != nullptr, "bound kernel has no sparse tensor");
   const CooTensor& coo = *bound.coo;
   SPTTN_CHECK_MSG(coo.is_sorted(), "sparse tensor must be sort_dedup()ed");
@@ -40,18 +59,32 @@ DistResult DistSpttn::run(const PlannerOptions& options,
                           DenseTensor* dense_out,
                           std::span<double> sparse_out,
                           int local_threads, bool concurrent_ranks) const {
+  ModeledComm comm(ranks_, params_);
+  return run(comm, options, dense_out, sparse_out, local_threads,
+             concurrent_ranks);
+}
+
+DistResult DistSpttn::run(CommBackend& comm, const PlannerOptions& options,
+                          DenseTensor* dense_out,
+                          std::span<double> sparse_out,
+                          int local_threads, bool concurrent_ranks) const {
+  SPTTN_CHECK_MSG(comm.ranks() == ranks_,
+                  "backend built for " << comm.ranks() << " ranks, runtime "
+                                       << "partitioned for " << ranks_);
   const Kernel& kernel = bound_->kernel;
   const bool sparse_output = kernel.output_is_sparse();
 
   DistResult res;
   res.ranks = ranks_;
   res.grid = grid_;
+  res.backend = comm.name();
+  res.modeled = comm.modeled();
   res.local_seconds.assign(static_cast<std::size_t>(ranks_), 0.0);
 
-  // One cached plan serves every simulated rank (SPMD: all ranks run the
-  // same nest), and — through the process-wide cache — every repeated run
-  // over the same bound tensor (rank-count sweeps, iterative drivers)
-  // skips the planner search after the first.
+  // One cached plan serves every rank (SPMD: all ranks run the same nest),
+  // and — through the process-wide cache — every repeated run over the
+  // same bound tensor (rank-count sweeps, iterative drivers) skips the
+  // planner search after the first.
   const Plan plan = plan_kernel(*bound_, options, KernelCache::global());
 
   // Every rank rebuilds the compiled nest from (path, order); verify the
@@ -67,23 +100,33 @@ DistResult DistSpttn::run(const PlannerOptions& options,
     std::fill(sparse_out.begin(), sparse_out.end(), 0.0);
   }
 
+  comm.begin_run();
+
+  // Allgather every dense factor up front so each rank can index it by
+  // arbitrary local coordinates: ModeledComm charges the model and ranks
+  // read the original, real transports hand each rank its own replica of
+  // the gathered payload. On a single rank factors are already local and
+  // no collective is issued (matching the historical charging).
+  std::vector<int> slot_of(bound_->dense.size(), -1);
+  if (ranks_ > 1) {
+    for (std::size_t i = 0; i < bound_->dense.size(); ++i) {
+      if (bound_->dense[i] == nullptr) continue;
+      slot_of[i] = comm.allgather(*bound_->dense[i]);
+    }
+  }
+
   // SPMD compute: every rank executes the same nest on its local CSF into
-  // a rank-private partial (the value a real rank would hold before the
-  // closing collective), and partials fold into the reduced output in
-  // ascending rank order. The fold order — not the execution order — fixes
-  // every output bit, so the sequential rank loop (which reuses one
-  // scratch partial and folds as it goes, keeping peak memory at one
-  // output copy) and the concurrent fan-out (which holds one partial per
-  // rank until the merge) produce bit-identical results. Each rank's
-  // wall-clock is measured around its own local run either way (honest
-  // measurement; on an oversubscribed machine concurrent ranks time-share
-  // cores, so use concurrent_ranks = false for timing-faithful rows).
-  const bool concurrent = concurrent_ranks && ranks_ > 1;
-  DenseTensor reduced;
-  if (!sparse_output) reduced = make_output(*bound_);
+  // a rank-private partial (the value a real rank holds before the closing
+  // collective). Rank scheduling belongs to the backend; results cannot
+  // depend on it because the backend's all-reduce folds the partials in
+  // ascending rank order — the fold order, not the execution order, fixes
+  // every output bit. Each rank's wall-clock is measured around its own
+  // local run either way (honest measurement; on an oversubscribed machine
+  // concurrent ranks time-share cores, so use concurrent_ranks = false for
+  // timing-faithful rows).
   std::vector<DenseTensor> rank_dense(
-      concurrent && !sparse_output ? static_cast<std::size_t>(ranks_) : 0);
-  const auto run_rank = [&](std::int64_t r, DenseTensor* dense_partial) {
+      sparse_output ? 0 : static_cast<std::size_t>(ranks_));
+  const auto run_rank = [&](std::int64_t r) {
     const auto ur = static_cast<std::size_t>(r);
     const CooTensor& local = local_coo_[ur];
     if (local.nnz() == 0) return;
@@ -94,14 +137,20 @@ DistResult DistSpttn::run(const PlannerOptions& options,
     FusedExecutor exec(kernel, plan.path, plan.order);
     ExecArgs args;
     args.sparse = &csf;
-    args.dense = bound_->dense;
+    args.dense.assign(bound_->dense.size(), nullptr);
+    for (std::size_t i = 0; i < bound_->dense.size(); ++i) {
+      args.dense[i] = slot_of[i] >= 0
+                          ? &comm.gathered(static_cast<int>(r), slot_of[i])
+                          : bound_->dense[i];
+    }
     args.num_threads = local_threads;
     std::vector<double> local_vals;  // this rank's sparse pattern values
     if (sparse_output) {
       local_vals.assign(static_cast<std::size_t>(local.nnz()), 0.0);
       args.out_sparse = local_vals;
     } else {
-      args.out_dense = dense_partial;
+      rank_dense[ur] = make_output(*bound_);
+      args.out_dense = &rank_dense[ur];
     }
     Timer t;
     exec.execute(args);
@@ -117,59 +166,31 @@ DistResult DistSpttn::run(const PlannerOptions& options,
       }
     }
   };
-  if (concurrent) {
-    ThreadPool::global().parallel_apply(ranks_, [&](std::int64_t r) {
-      DenseTensor* partial = nullptr;
-      if (!sparse_output &&
-          local_coo_[static_cast<std::size_t>(r)].nnz() > 0) {
-        rank_dense[static_cast<std::size_t>(r)] = make_output(*bound_);
-        partial = &rank_dense[static_cast<std::size_t>(r)];
-      }
-      run_rank(r, partial);
-    });
+  comm.run_ranks(concurrent_ranks, run_rank);
+
+  // Closing collective: dense outputs all-reduce the rank partials
+  // (ascending-rank element-wise fold, bit-deterministic per the backend
+  // contract). Sparse outputs stay with their owners and need no
+  // reduction.
+  if (!sparse_output) {
+    DenseTensor reduced = make_output(*bound_);
+    std::vector<const DenseTensor*> partials(
+        static_cast<std::size_t>(ranks_), nullptr);
     for (int r = 0; r < ranks_; ++r) {
       const auto ur = static_cast<std::size_t>(r);
-      if (sparse_output || local_coo_[ur].nnz() == 0) continue;
-      xaxpy(reduced.size(), 1.0, rank_dense[ur].data(), 1, reduced.data(),
-            1);
+      if (local_nnz_[ur] > 0) partials[ur] = &rank_dense[ur];
     }
-  } else {
-    DenseTensor scratch;
-    if (!sparse_output) scratch = make_output(*bound_);
-    for (int r = 0; r < ranks_; ++r) {
-      if (local_coo_[static_cast<std::size_t>(r)].nnz() == 0) continue;
-      // The executor zeroes the scratch partial on entry (accumulate is
-      // off), so one allocation serves every rank.
-      run_rank(r, sparse_output ? nullptr : &scratch);
-      if (!sparse_output) {
-        xaxpy(reduced.size(), 1.0, scratch.data(), 1, reduced.data(), 1);
-      }
-    }
+    comm.allreduce(partials, &reduced);
+    if (dense_out != nullptr) *dense_out = std::move(reduced);
   }
-
-  const std::int64_t dense_out_size = sparse_output ? 0 : reduced.size();
-  if (!sparse_output && dense_out != nullptr) *dense_out = std::move(reduced);
 
   res.max_local_seconds =
       *std::max_element(res.local_seconds.begin(), res.local_seconds.end());
 
-  // Collectives: every dense factor is allgathered so each rank can index
-  // it by arbitrary local coordinates; dense outputs close with an
-  // all-reduce. Sparse outputs stay with their owners.
-  if (ranks_ > 1) {
-    for (const DenseTensor* d : bound_->dense) {
-      if (d == nullptr) continue;
-      const std::int64_t bytes =
-          d->size() * static_cast<std::int64_t>(sizeof(double));
-      res.comm_bytes += bytes;
-      res.comm_seconds += allgather_seconds(bytes, ranks_, params_);
-    }
-    if (!sparse_output) {
-      const std::int64_t bytes =
-          dense_out_size * static_cast<std::int64_t>(sizeof(double));
-      res.comm_bytes += bytes;
-      res.comm_seconds += allreduce_seconds(bytes, ranks_, params_);
-    }
+  res.events = comm.events();
+  for (const CommEvent& ev : res.events) {
+    res.comm_bytes += ev.bytes;
+    res.comm_seconds += ev.seconds;
   }
 
   const std::int64_t total = bound_->coo->nnz();

@@ -1,0 +1,75 @@
+#ifdef SPTTN_WITH_MPI
+
+#include "dist/mpi_comm.hpp"
+
+#include <mpi.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace spttn {
+
+MpiComm::MpiComm(int ranks, CommParams params) : CommBackend(ranks, params) {
+  int initialized = 0;
+  MPI_Initialized(&initialized);
+  SPTTN_CHECK_MSG(initialized != 0,
+                  "MpiComm requires MPI_Init before construction");
+  int world = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &world);
+  SPTTN_CHECK_MSG(world == 1,
+                  "MpiComm currently simulates ranks in one process and "
+                  "requires a world of size 1, got "
+                      << world << " (see dist/mpi_comm.hpp)");
+}
+
+void MpiComm::do_begin_run() { replicas_.clear(); }
+
+CommEvent MpiComm::do_allgather(const DenseTensor& payload, int slot) {
+  SPTTN_CHECK(static_cast<std::size_t>(slot) == replicas_.size());
+  std::vector<DenseTensor>& reps = replicas_.emplace_back();
+  reps.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) reps.emplace_back(payload.dims());
+  Timer t;
+  // World of size 1: the gather degenerates to a self-copy into rank 0's
+  // receive buffer; the remaining simulated ranks replicate from it.
+  MPI_Allgather(payload.data(), static_cast<int>(payload.size()), MPI_DOUBLE,
+                reps[0].data(), static_cast<int>(payload.size()), MPI_DOUBLE,
+                MPI_COMM_WORLD);
+  for (int r = 1; r < ranks_; ++r) {
+    std::copy(reps[0].data(), reps[0].data() + reps[0].size(),
+              reps[static_cast<std::size_t>(r)].data());
+  }
+  CommEvent ev;
+  ev.bytes = payload.size() * static_cast<std::int64_t>(sizeof(double));
+  ev.seconds = t.seconds();
+  ev.modeled = false;
+  return ev;
+}
+
+const DenseTensor& MpiComm::do_gathered(int rank, int slot) const {
+  return replicas_[static_cast<std::size_t>(slot)]
+                  [static_cast<std::size_t>(rank)];
+}
+
+CommEvent MpiComm::do_allreduce(std::span<const DenseTensor* const> partials,
+                                DenseTensor* out) {
+  Timer t;
+  // Simulated ranks share the process: fold their partials locally
+  // (ascending rank order, the cross-backend determinism contract), then
+  // issue the cross-process all-reduce — in place, a no-op on a world of
+  // size 1 but the real collective once partitions are distributed.
+  fold_partials(partials, out, /*tile=*/0);
+  MPI_Allreduce(MPI_IN_PLACE, out->data(), static_cast<int>(out->size()),
+                MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  CommEvent ev;
+  ev.bytes = out->size() * static_cast<std::int64_t>(sizeof(double));
+  ev.seconds = t.seconds();
+  ev.modeled = false;
+  return ev;
+}
+
+}  // namespace spttn
+
+#endif  // SPTTN_WITH_MPI

@@ -1,0 +1,49 @@
+// MPI transport scaffolding, compiled only under -DSPTTN_WITH_MPI=ON.
+//
+// Interface-complete against CommBackend: allgathers and all-reduces are
+// issued as real MPI collectives and timed, so on a launcher-driven build
+// Figure 8's comm column is measured network movement. Current limits,
+// documented rather than hidden:
+//  - DistSpttn still *simulates* ranks inside one process (partitioning,
+//    local execution, and partials all live here), so MpiComm requires the
+//    process's communicator to be of size 1 and the collectives degenerate
+//    to self-communication. Distributing the partition itself (each MPI
+//    process owning only its local COO) is the follow-up that makes this a
+//    true multi-node runtime; the runtime seam it needs — all data flowing
+//    through CommBackend — is what this class pins down.
+//  - MPI_Init/MPI_Finalize are owned by the embedder (mpirun launchers
+//    initialize once per process); MpiComm only checks initialization.
+#pragma once
+
+#ifdef SPTTN_WITH_MPI
+
+#include "dist/comm_backend.hpp"
+
+namespace spttn {
+
+class MpiComm final : public CommBackend {
+ public:
+  /// Requires MPI to be initialized and (for now) a world of size 1; see
+  /// the header comment.
+  MpiComm(int ranks, CommParams params = {});
+
+  std::string name() const override { return "mpi"; }
+  bool modeled() const override { return false; }
+
+ protected:
+  CommEvent do_allgather(const DenseTensor& payload, int slot) override;
+  const DenseTensor& do_gathered(int rank, int slot) const override;
+  CommEvent do_allreduce(std::span<const DenseTensor* const> partials,
+                         DenseTensor* out) override;
+  void do_begin_run() override;
+
+ private:
+  /// One gathered replica per simulated rank, like ShmemComm (the MPI
+  /// collective lands the payload once per process; simulated ranks inside
+  /// the process then take replicas).
+  std::vector<std::vector<DenseTensor>> replicas_;
+};
+
+}  // namespace spttn
+
+#endif  // SPTTN_WITH_MPI
