@@ -106,6 +106,22 @@ const std::vector<LintOptionSet>& lint_option_sets() {
       o.cost = CostKind::kMaxBufferDim;
       s.push_back({"max-buffer-dim", o});
     }
+    {
+      // Uncapped anytime search: deterministic, and its chosen cost matches
+      // the exact strategy's on every suite kernel.
+      PlannerOptions o;
+      o.strategy = StrategyKind::kAnytime;
+      s.push_back({"anytime", o});
+    }
+    {
+      // Node-budgeted anytime search: exercises the budget-exhausted path
+      // (beam truncation, incumbent pruning, gap reporting) while staying
+      // deterministic — a wall-clock budget would not be.
+      PlannerOptions o;
+      o.strategy = StrategyKind::kAnytime;
+      o.budget.max_nodes = 64;
+      s.push_back({"anytime-budget", o});
+    }
     return s;
   }();
   return sets;

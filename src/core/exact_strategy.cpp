@@ -1,0 +1,166 @@
+// The exhaustive planner search, moved verbatim from the pre-strategy
+// make_plan. Bit-identity matters here: the chosen Plan and SearchStats are
+// pinned by tests/golden/ across the whole kernel suite, so any edit that
+// changes the search order, the grouping, or the merge must regenerate the
+// goldens deliberately.
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/planner_strategy.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spttn {
+
+namespace {
+
+/// Run the order DP for every path of groups [g_begin, g_end) — one wave.
+/// (group, path) pairs are independent subproblems, so the whole wave
+/// flattens into a single fan-out over the process-wide pool; results land
+/// indexed by (group - g_begin, path), ready for the order-preserving
+/// merge.
+void run_wave(const Kernel& kernel,
+              const std::vector<std::vector<const ContractionPath*>>& groups,
+              std::size_t g_begin, std::size_t g_end,
+              const TreeCost& cost, const PlannerOptions& options,
+              std::vector<std::vector<DpResult>>* results) {
+  DpOptions dp_options;
+  dp_options.restrict_csf_order = options.restrict_csf_order;
+  results->assign(g_end - g_begin, {});
+  std::vector<std::pair<std::size_t, std::size_t>> flat;
+  for (std::size_t g = g_begin; g < g_end; ++g) {
+    (*results)[g - g_begin].resize(groups[g].size());
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      flat.emplace_back(g, i);
+    }
+  }
+  const auto run_one = [&](std::int64_t f) {
+    const auto [g, i] = flat[static_cast<std::size_t>(f)];
+    (*results)[g - g_begin][i] =
+        optimal_order(kernel, *groups[g][i], cost, dp_options);
+  };
+  if (options.search_threads == 1 || flat.size() < 2) {
+    for (std::size_t f = 0; f < flat.size(); ++f) {
+      run_one(static_cast<std::int64_t>(f));
+    }
+  } else {
+    // The persistent process pool serves every wave; spawning a pool per
+    // wave (make_plan runs one wave per relaxation pass at minimum) would
+    // cost more than the small DPs themselves.
+    ThreadPool::global().parallel_apply(
+        static_cast<std::int64_t>(flat.size()), run_one);
+  }
+}
+
+/// Merge one group's DP results in path order; fills `plan` when a
+/// feasible nest with the best group cost is found and accumulates the
+/// group's search statistics. Identical to a sequential scan of the group.
+bool merge_group(const std::vector<const ContractionPath*>& group,
+                 const std::vector<DpResult>& results, SearchStats* stats,
+                 Plan* plan) {
+  bool found = false;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const DpResult& r = results[i];
+    stats->paths_searched += 1;
+    stats->dp_subproblems += r.subproblems;
+    stats->dp_evaluations += r.evaluations;
+    if (!r.feasible) continue;
+    stats->paths_feasible += 1;
+    if (!found || r.best_cost < plan->cost) {
+      plan->path = *group[i];
+      plan->order = r.best;
+      plan->cost = r.best_cost;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Plan ExactStrategy::plan(const Kernel& kernel, const SparsityStats& stats,
+                         const PlannerOptions& options) const {
+  Plan plan;
+  int total = 0;
+  std::vector<double> flops;  // per exec path, filled by executable_paths
+  const std::vector<ContractionPath> exec = executable_paths(
+      kernel, stats, &total, options.search_threads, &flops);
+  plan.paths_total = total;
+  plan.paths_executable = static_cast<int>(exec.size());
+  SPTTN_CHECK_MSG(!exec.empty(),
+                  "no single-CSF executable contraction path for kernel "
+                      << kernel.to_string());
+
+  // Group by FLOP estimate (paths within tolerance share a group).
+  std::vector<std::vector<const ContractionPath*>> groups;
+  std::vector<double> group_flops;
+  for (std::size_t i = 0; i < exec.size(); ++i) {
+    if (groups.empty() ||
+        flops[i] > group_flops.back() * options.flop_group_tolerance) {
+      groups.emplace_back();
+      group_flops.push_back(flops[i]);
+    }
+    groups.back().push_back(&exec[i]);
+    if (options.max_paths_searched > 0 &&
+        static_cast<int>(i) + 1 >= options.max_paths_searched) {
+      break;
+    }
+  }
+
+  // Paper Section 5: optimal-complexity group first, then fall back; when
+  // even that fails and relaxation is allowed, loosen the buffer bound.
+  // Each relaxation pass scans groups in waves of geometrically growing
+  // size: a wave's DPs fan out over the pool together, then merge in
+  // group/path order, stopping at the first feasible group. Wave 1 holds
+  // only the optimal-complexity group, so the common case does exactly the
+  // sequential search's work; failure cases buy parallelism with bounded
+  // speculation (at most the winning wave's trailing groups, which the
+  // merge discards from the stats — plan and SearchStats stay identical to
+  // the sequential scan).
+  PlannerOptions effective = options;
+  const int max_bound = std::max(options.buffer_dim_bound,
+                                 kernel.num_indices());
+  SearchStats search;
+  for (int bound = options.buffer_dim_bound; bound <= max_bound; ++bound) {
+    effective.buffer_dim_bound = bound;
+    const std::unique_ptr<TreeCost> cost = make_cost_model(effective, &stats);
+    std::size_t g = 0;
+    std::size_t wave = 1;
+    while (g < groups.size()) {
+      const std::size_t wave_end = std::min(groups.size(), g + wave);
+      std::vector<std::vector<DpResult>> results;
+      run_wave(kernel, groups, g, wave_end, *cost, effective, &results);
+      for (std::size_t gg = g; gg < wave_end; ++gg) {
+        if (merge_group(groups[gg], results[gg - g], &search, &plan)) {
+          plan.paths_searched = search.paths_searched;
+          plan.paths_feasible = search.paths_feasible;
+          plan.dp_subproblems = search.dp_subproblems;
+          plan.dp_evaluations = search.dp_evaluations;
+          plan.flops = path_flops(kernel, plan.path, stats);
+          plan.buffer_dim_bound = bound;
+          plan.sparsity_fingerprint = stats.fingerprint();
+          plan.tree = LoopTree::build(kernel, plan.path, plan.order);
+          return plan;
+        }
+      }
+      g = wave_end;
+      // Speculative growth only pays when lanes exist to run the extra
+      // groups concurrently; a one-lane pool would run the speculation
+      // inline and can double the sequential search's DP work for nothing.
+      if (options.search_threads != 1 && ThreadPool::global().size() > 1) {
+        wave *= 2;
+      }
+    }
+    if (!options.allow_bound_relaxation ||
+        options.cost != CostKind::kBoundedBufferBlas) {
+      break;
+    }
+  }
+  SPTTN_CHECK_MSG(false, "no feasible loop nest found for kernel "
+                             << kernel.to_string());
+  return plan;
+}
+
+}  // namespace spttn

@@ -211,6 +211,15 @@ std::string serialize_plan(
   os << "search " << plan.paths_total << ' ' << plan.paths_executable << ' '
      << plan.paths_searched << ' ' << plan.paths_feasible << ' '
      << plan.dp_subproblems << ' ' << plan.dp_evaluations << '\n';
+  // Anytime diagnostics ride in an optional record so exact plans remain
+  // byte-identical to the pre-strategy format (tests/golden/ pins those
+  // bytes, and persisted exact artifacts must stay loadable unchanged).
+  if (plan.strategy != StrategyKind::kExact) {
+    os << "anytime " << plan.nodes_expanded << ' ' << plan.restarts << ' '
+       << hex_double(plan.flops_lower_bound) << ' '
+       << hex_double(plan.optimality_gap) << ' '
+       << (plan.budget_exhausted ? 1 : 0) << '\n';
+  }
   for (const auto& [k, v] : meta) {
     SPTTN_CHECK_MSG(!k.empty() && k.find_first_of(" \t\n") == std::string::npos &&
                         v.find_first_of(" \t\n") == std::string::npos,
@@ -379,19 +388,31 @@ LoadedPlan deserialize_plan(const std::string& text) {
   plan.dp_evaluations =
       r.read_int(0, std::numeric_limits<std::int64_t>::max());
 
-  // Meta entries until the end marker.
+  // Optional anytime record, then meta entries until the end marker.
   while (true) {
     if (!r.next_line()) r.fail("unexpected end of input, expected 'end'");
     if (r.current_line() == "end") break;
-    if (r.token() != "meta") {
-      r.fail("expected 'meta' or 'end', got '" + r.current_line() + "'");
+    const std::string& key = r.token();
+    if (key == "anytime") {
+      plan.strategy = StrategyKind::kAnytime;
+      plan.nodes_expanded =
+          r.read_int(0, std::numeric_limits<std::int64_t>::max());
+      plan.restarts = static_cast<int>(r.read_int(0, kMaxCount));
+      plan.flops_lower_bound = r.read_double_bits();
+      plan.optimality_gap = r.read_double_bits();
+      plan.budget_exhausted = r.read_int(0, 1) == 1;
+      continue;
+    }
+    if (key != "meta") {
+      r.fail("expected 'anytime', 'meta' or 'end', got '" + r.current_line() +
+             "'");
     }
     if (static_cast<std::int64_t>(out.meta.size()) >= kMaxCount) {
       r.fail("too many meta entries");
     }
-    const std::string key = r.token();
+    const std::string meta_key = r.token();
     const std::string value = r.tokens_left() ? r.token() : std::string();
-    out.meta.emplace_back(key, value);
+    out.meta.emplace_back(meta_key, value);
   }
   return out;
 }

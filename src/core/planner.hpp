@@ -22,6 +22,35 @@ enum class CostKind {
   kBoundedBufferBlas,  ///< the paper's experiment metric (default)
 };
 
+/// Which search produces the plan (see core/planner_strategy.hpp).
+enum class StrategyKind {
+  /// Exhaustive path enumeration + order DP — optimal, but the path count
+  /// is n!(n-1)!/2^(n-1) in the input count, so order-8 networks are out
+  /// of reach.
+  kExact,
+  /// Pruned breadth-first search over contraction sequences with
+  /// cost-model-seeded randomized restarts, under a PlanningBudget, with a
+  /// reported optimality gap (Pfeifer-style; ROADMAP item 4).
+  kAnytime,
+};
+
+/// Resource limits for the anytime search. Zero means unlimited; with both
+/// limits zero the anytime search runs to completion (every distinct
+/// contraction tree) and its best cost matches the exact strategy's.
+struct PlanningBudget {
+  /// Wall-clock deadline for the search in milliseconds. The final
+  /// order-DP pass always runs far enough to return at least one feasible
+  /// plan, so a slight overrun is possible — the guarantee is "a verified
+  /// feasible plan, promptly", never "an exception at the deadline".
+  /// Makes the search timing-dependent, hence nondeterministic.
+  std::int64_t max_millis = 0;
+  /// Deterministic alternative: cap on BFS node expansions. With a fixed
+  /// seed the resulting plan is bit-identical across runs.
+  std::int64_t max_nodes = 0;
+
+  bool unlimited() const { return max_millis <= 0 && max_nodes <= 0; }
+};
+
 struct PlannerOptions {
   CostKind cost = CostKind::kBoundedBufferBlas;
   /// Intermediate-dimension bound for kBoundedBufferBlas (paper uses 2).
@@ -67,6 +96,24 @@ struct PlannerOptions {
   /// excluded from planner_options_hash and toggling it never fragments
   /// the kernel cache; both settings share one cached executor.
   bool lower = true;
+  /// Search strategy. The anytime fields below only take effect (and only
+  /// enter planner_options_hash) when this is kAnytime: under kExact they
+  /// are inert, so toggling them must not fragment the kernel cache, while
+  /// under kAnytime they change the chosen plan and must key it.
+  StrategyKind strategy = StrategyKind::kExact;
+  /// Anytime search budget (ignored by kExact).
+  PlanningBudget budget;
+  /// Seed for the anytime strategy's randomized restarts. With
+  /// budget.max_millis == 0 the whole anytime search is deterministic in
+  /// this seed (bit-identical plans and stats across runs).
+  std::uint64_t anytime_seed = 42;
+  /// Greedy restart count for the anytime strategy (restart 0 is pure
+  /// cost-model descent; later restarts jitter the pair scores).
+  int anytime_restarts = 4;
+  /// Frontier cap per BFS level when a budget is set (0 = uncapped).
+  /// Truncation keeps the cheapest states and folds the dropped ones into
+  /// the reported lower bound, so the gap stays admissible.
+  int anytime_beam = 4096;
 };
 
 /// Statistics of one DP search over a group of contraction paths.
@@ -75,6 +122,18 @@ struct SearchStats {
   int paths_feasible = 0;       ///< paths admitting a loop nest under the bound
   std::int64_t dp_subproblems = 0;
   std::int64_t dp_evaluations = 0;
+
+  // Anytime-strategy diagnostics; all zero under the exact strategy.
+  std::int64_t nodes_expanded = 0;  ///< BFS states expanded
+  int restarts = 0;                 ///< greedy restarts attempted
+  /// Admissible lower bound on any executable path's FLOP estimate: partial
+  /// path flops are monotone additive, so the cheapest pruned/unexpanded
+  /// prefix bounds everything the search did not look at.
+  double flops_lower_bound = 0;
+  /// best_flops / flops_lower_bound - 1. Zero means the search completed
+  /// without dropping states — the flop estimate is proven optimal.
+  double optimality_gap = 0;
+  bool budget_exhausted = false;    ///< a PlanningBudget limit stopped the BFS
 };
 
 /// A fully planned SpTTN execution.
@@ -100,6 +159,17 @@ struct Plan {
   std::int64_t dp_subproblems = 0;
   std::int64_t dp_evaluations = 0;
 
+  /// Strategy that produced the plan, plus the anytime diagnostics (zero
+  /// under kExact; see SearchStats for semantics). plan_io serializes them
+  /// in an optional trailing record only when strategy != kExact, so exact
+  /// plan artifacts are byte-identical to the pre-strategy format.
+  StrategyKind strategy = StrategyKind::kExact;
+  std::int64_t nodes_expanded = 0;
+  int restarts = 0;
+  double flops_lower_bound = 0;
+  double optimality_gap = 0;
+  bool budget_exhausted = false;
+
   /// Render the chosen loop nest with costs, in the style of the listings.
   std::string describe(const Kernel& kernel) const;
 };
@@ -109,9 +179,13 @@ struct Plan {
 std::unique_ptr<TreeCost> make_cost_model(const PlannerOptions& options,
                                           const SparsityStats* stats);
 
-/// Plan a kernel. `stats` supplies the sparsity statistics of the sparse
-/// operand (exact or modeled). Throws spttn::Error when the kernel admits no
-/// executable loop nest.
+/// Plan a kernel through the strategy selected by `options.strategy`
+/// (core/planner_strategy.hpp). `stats` supplies the sparsity statistics of
+/// the sparse operand (exact or modeled). Throws spttn::Error when the
+/// kernel admits no executable loop nest. The chosen plan is verified by
+/// the static plan verifier in Debug builds, when `options.verify` is set,
+/// and always for anytime plans — a non-exhaustive search is only safe to
+/// serve behind the full static gate.
 Plan make_plan(const Kernel& kernel, const SparsityStats& stats,
                const PlannerOptions& options = {});
 

@@ -1,0 +1,60 @@
+// Pluggable planner strategies (ROADMAP item 4). make_plan dispatches to a
+// PlannerStrategy and then runs the shared verification gate, so every
+// search algorithm — exhaustive or budgeted — flows through one pipeline:
+//
+//   make_plan ─► strategy_for(options).plan(...) ─► verify ─► Plan
+//
+// ExactStrategy is the pre-refactor planner moved verbatim: its chosen Plan
+// and SearchStats are bit-identical to the historical search (sequential
+// and search_threads-parallel alike; tests/golden/ pins this). AnytimeStrategy
+// is a Pfeifer-style pruned breadth-first search over contraction sequences
+// with cost-model-seeded randomized restarts, bounded by
+// PlannerOptions::budget and reporting an admissible optimality gap.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace spttn {
+
+class PlannerStrategy {
+ public:
+  virtual ~PlannerStrategy() = default;
+
+  /// Stable identifier ("exact", "anytime") for logs and benches.
+  virtual const char* name() const = 0;
+
+  /// Produce a plan. Implementations fill every Plan field including the
+  /// search diagnostics; they do NOT run the plan verifier — make_plan owns
+  /// that gate so all strategies are checked identically.
+  virtual Plan plan(const Kernel& kernel, const SparsityStats& stats,
+                    const PlannerOptions& options) const = 0;
+};
+
+/// The historical exhaustive search: enumerate contraction paths, filter to
+/// single-CSF-executable ones, group by FLOP estimate, run the order DP per
+/// group with buffer-bound relaxation. Optimal under the configured cost
+/// model; cost is factorial in the input count.
+class ExactStrategy final : public PlannerStrategy {
+ public:
+  const char* name() const override { return "exact"; }
+  Plan plan(const Kernel& kernel, const SparsityStats& stats,
+            const PlannerOptions& options) const override;
+};
+
+/// Cost-bounded anytime search: greedy seeded restarts establish a feasible
+/// incumbent fast, then a deduplicated breadth-first search over partial
+/// contraction sequences (pruned per-term on CSF-prefix executability and,
+/// under a budget, on the incumbent's FLOP estimate) improves on it until
+/// the PlanningBudget runs out. Reports best-vs-lower-bound gap; with an
+/// unlimited budget the search completes and the gap is zero.
+class AnytimeStrategy final : public PlannerStrategy {
+ public:
+  const char* name() const override { return "anytime"; }
+  Plan plan(const Kernel& kernel, const SparsityStats& stats,
+            const PlannerOptions& options) const override;
+};
+
+/// The process-wide strategy instance selected by options.strategy.
+const PlannerStrategy& strategy_for(const PlannerOptions& options);
+
+}  // namespace spttn

@@ -1095,17 +1095,19 @@ void FusedExecutor::Impl::execute_parallel(
             ptr[static_cast<std::size_t>(p)],
             ptr[static_cast<std::size_t>(p + 1)]};
       };
-      const auto split_heavy = [&](std::int64_t p, std::int64_t w) {
+      const auto split_heavy = [&](std::int64_t p, std::int64_t w,
+                                   std::int64_t tgt,
+                                   std::vector<ParTask>* out) {
         const auto [ib, ie] = inner_range(p);
         const std::int64_t cap = ie - ib;
         const std::int64_t pieces = std::clamp<std::int64_t>(
-            (w + target - 1) / target, 1, std::max<std::int64_t>(cap, 1));
+            (w + tgt - 1) / tgt, 1, std::max<std::int64_t>(cap, 1));
         if (pieces < 2) {
           ParTask task;
           task.root_begin = p;
           task.root_end = p + 1;
           task.weight = w;
-          nested_tasks.push_back(task);
+          out->push_back(task);
           return;
         }
         has_nested = true;
@@ -1139,7 +1141,7 @@ void FusedExecutor::Impl::execute_parallel(
                     ? inner_leaf[static_cast<std::size_t>(end)] -
                           inner_leaf[static_cast<std::size_t>(prev)]
                     : w * (end - prev) / std::max<std::int64_t>(cap, 1);
-            nested_tasks.push_back(task);
+            out->push_back(task);
           }
           prev = end;
         }
@@ -1161,7 +1163,7 @@ void FusedExecutor::Impl::execute_parallel(
         const std::int64_t w = node_weight(p);
         if (w > target) {
           flush_run(p);
-          split_heavy(p, w);
+          split_heavy(p, w, target, &nested_tasks);
           run_begin = p + 1;
           continue;
         }
@@ -1193,6 +1195,84 @@ void FusedExecutor::Impl::execute_parallel(
         tasks = std::move(nested_tasks);
       } else {
         has_nested = false;
+        // Skew-aware heavy-chunk re-split (ROADMAP carried item). The
+        // from-scratch rebuild above aims at the *partials* budget, which
+        // can be far coarser than the flat chunking (direct-write regions
+        // budget 4x the lanes, partials regions one task per lane); when
+        // the flat partition already holds enough chunks but one of them
+        // dwarfs the rest, the rebuild often degenerates (the heavy node
+        // stays below the coarse target, nothing splits) and we used to
+        // keep the skewed flat chunks and serialize behind the mega-chunk.
+        // Instead, keep the light flat chunks and re-split only the heavy
+        // ones against the flat partition's own per-task target.
+        if (static_imbalance > kNestSkewThreshold) {
+          const std::int64_t flat_target =
+              (total_w + requested_eff - 1) / requested_eff;
+          std::vector<ParTask> resplit;
+          for (const ParTask& task : tasks) {
+            if (task.weight <= flat_target) {
+              resplit.push_back(task);
+              continue;
+            }
+            // Walk the heavy chunk's root positions: heavy positions split
+            // at the inner level, light runs coalesce to ~flat_target —
+            // the scratch rebuild's shape, confined to this chunk.
+            std::int64_t rb = task.root_begin;
+            std::int64_t rw = 0;
+            const auto flush = [&](std::int64_t end_exclusive) {
+              if (rb < end_exclusive && rw > 0) {
+                ParTask piece;
+                piece.root_begin = rb;
+                piece.root_end = end_exclusive;
+                piece.weight = rw;
+                resplit.push_back(piece);
+              }
+              rb = end_exclusive;
+              rw = 0;
+            };
+            for (std::int64_t p = task.root_begin; p < task.root_end; ++p) {
+              const std::int64_t w = node_weight(p);
+              if (w > flat_target) {
+                flush(p);
+                if (meta.nest_safe && inner != nullptr) {
+                  split_heavy(p, w, flat_target, &resplit);
+                } else {
+                  ParTask piece;
+                  piece.root_begin = p;
+                  piece.root_end = p + 1;
+                  piece.weight = w;
+                  resplit.push_back(piece);
+                }
+                rb = p + 1;
+                continue;
+              }
+              rw += w;
+              if (rw >= flat_target) flush(p + 1);
+            }
+            flush(task.root_end);
+          }
+          std::int64_t resplit_max_w = 0;
+          for (const ParTask& task : resplit) {
+            resplit_max_w = std::max(resplit_max_w, task.weight);
+          }
+          // split_heavy set has_nested iff the re-split produced inner
+          // pieces; adoption mirrors the scratch rebuild — same routing
+          // takes any strict improvement, a direct-write → partials switch
+          // must clear the skew threshold.
+          const bool resplit_same_routing =
+              !has_nested || !nested_partials || flat_partials;
+          const bool resplit_adopt =
+              resplit.size() >= 2 &&
+              (resplit_same_routing
+                   ? resplit_max_w < max_chunk_w
+                   : static_cast<double>(resplit_max_w) * kNestSkewThreshold <
+                         static_cast<double>(max_chunk_w));
+          if (resplit_adopt) {
+            tasks = std::move(resplit);
+          } else {
+            has_nested = false;
+          }
+        }
       }
     }
 

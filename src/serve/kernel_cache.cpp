@@ -49,6 +49,24 @@ std::uint64_t planner_options_hash(const PlannerOptions& options) {
   // never changes the plan, and the execution tier is selected per run
   // with bit-identical results (see PlannerOptions docs), so none may
   // fragment the cache.
+  //
+  // The anytime fields follow the same rule from the other side: under the
+  // exact strategy they are inert (the plan cannot depend on them), so they
+  // are excluded and the exact-options hash is byte-identical to the
+  // pre-strategy one — no cache fragmentation, and persisted exact
+  // artifacts keyed by the old hash stay valid. Under the anytime strategy
+  // the budget, seed, and search knobs select the plan, so they are mixed
+  // in: two sessions planning the same kernel under different budgets must
+  // not serve each other's plans.
+  if (options.strategy != StrategyKind::kExact) {
+    h = hash_mix(h ^ 0xa17e11117e5eedULL);
+    h = hash_mix(h ^ static_cast<std::uint64_t>(options.strategy));
+    h = hash_mix(h ^ static_cast<std::uint64_t>(options.budget.max_millis));
+    h = hash_mix(h ^ static_cast<std::uint64_t>(options.budget.max_nodes));
+    h = hash_mix(h ^ options.anytime_seed);
+    h = hash_mix(h ^ static_cast<std::uint64_t>(options.anytime_restarts));
+    h = hash_mix(h ^ static_cast<std::uint64_t>(options.anytime_beam));
+  }
   return h;
 }
 

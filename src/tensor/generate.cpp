@@ -188,4 +188,110 @@ DenseTensor random_dense(std::vector<std::int64_t> dims, Rng& rng) {
   return t;
 }
 
+std::int64_t GeneratedNetwork::dim_of(const std::string& index_name) const {
+  for (const auto& [n, d] : dims) {
+    if (n == index_name) return d;
+  }
+  return -1;
+}
+
+GeneratedNetwork random_network(int order, std::int64_t sparse_extent,
+                                std::int64_t rank_extent, Rng& rng) {
+  SPTTN_CHECK_MSG(order >= 2, "random_network needs order >= 2");
+  SPTTN_CHECK_MSG(sparse_extent >= 3 && rank_extent >= 1,
+                  "random_network extents too small");
+  GeneratedNetwork net;
+  net.name = "net" + std::to_string(order);
+
+  std::vector<std::string> mode(static_cast<std::size_t>(order));
+  std::string sparse_ref = "T(";
+  for (int m = 0; m < order; ++m) {
+    mode[static_cast<std::size_t>(m)] = "i" + std::to_string(m);
+    const std::int64_t extent = sparse_extent + rng.next_in(-1, 1);
+    net.dims.emplace_back(mode[static_cast<std::size_t>(m)], extent);
+    net.sparse_dims.push_back(extent);
+    if (m > 0) sparse_ref += ",";
+    sparse_ref += mode[static_cast<std::size_t>(m)];
+  }
+  sparse_ref += ")";
+
+  // With probability 1/2, one random mode keeps no factor (MTTKRP keeps
+  // its row mode the same way) and flows straight into the output.
+  const int kept =
+      rng.next_below(2) == 0
+          ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(order)))
+          : -1;
+  std::vector<std::string> out_indices;
+  if (kept >= 0) out_indices.push_back(mode[static_cast<std::size_t>(kept)]);
+  bool used_r = false;
+  std::string factors;
+  for (int m = 0; m < order; ++m) {
+    if (m == kept) continue;
+    std::string fidx;
+    if (rng.next_below(2) == 0) {
+      fidx = "r";  // shared rank index across all such factors
+      if (!used_r) {
+        net.dims.emplace_back("r", rank_extent);
+        out_indices.push_back("r");
+        used_r = true;
+      }
+    } else {
+      fidx = "s" + std::to_string(m);
+      net.dims.emplace_back(fidx, rank_extent);
+      out_indices.push_back(fidx);
+    }
+    factors += "*U" + std::to_string(m) + "(" +
+               mode[static_cast<std::size_t>(m)] + "," + fidx + ")";
+  }
+  // Degenerate draw where every mode is kept-less and shared: still fine —
+  // the output is Z(r). A draw with kept >= 0 and no factors cannot happen
+  // for order >= 2.
+  std::string out = "Z(";
+  for (std::size_t i = 0; i < out_indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += out_indices[i];
+  }
+  out += ")";
+  net.expr = out + " = " + sparse_ref + factors;
+  return net;
+}
+
+GeneratedNetwork tensor_train_network(int order, std::int64_t sparse_extent,
+                                      std::int64_t bond_extent) {
+  SPTTN_CHECK_MSG(order >= 3, "tensor_train_network needs order >= 3");
+  SPTTN_CHECK_MSG(sparse_extent >= 2 && bond_extent >= 1,
+                  "tensor_train_network extents too small");
+  GeneratedNetwork net;
+  net.name = "tt" + std::to_string(order);
+  const int spatial = order - 1;  // trailing mode "n" rides uncontracted
+
+  std::string sparse_ref = "T(";
+  for (int m = 0; m < spatial; ++m) {
+    const std::string im = "i" + std::to_string(m);
+    net.dims.emplace_back(im, sparse_extent);
+    net.sparse_dims.push_back(sparse_extent);
+    sparse_ref += im + ",";
+  }
+  sparse_ref += "n)";
+  net.dims.emplace_back("n", sparse_extent);
+  net.sparse_dims.push_back(sparse_extent);
+
+  // Carriages A0(i0,b0), A1(b0,i1,b1), ..., with the last bond exposed as
+  // the output index "e" — the tttc4 shape at any order.
+  std::string factors;
+  std::string prev_bond;
+  for (int m = 0; m < spatial; ++m) {
+    const std::string im = "i" + std::to_string(m);
+    const std::string bond =
+        m + 1 == spatial ? std::string("e") : "b" + std::to_string(m);
+    net.dims.emplace_back(bond, bond_extent);
+    factors += "*A" + std::to_string(m) + "(";
+    if (!prev_bond.empty()) factors += prev_bond + ",";
+    factors += im + "," + bond + ")";
+    prev_bond = bond;
+  }
+  net.expr = "Z(e,n) = " + sparse_ref + factors;
+  return net;
+}
+
 }  // namespace spttn

@@ -64,4 +64,35 @@ CooTensor make_preset_tensor(const std::string& name, double scale, Rng& rng);
 /// Random dense factor matrix of shape rows x cols, entries in [-1,1).
 DenseTensor random_dense(std::vector<std::int64_t> dims, Rng& rng);
 
+/// A generated contraction of one sparse tensor with a network of dense
+/// factors — kernels beyond the paper suite (order-6/8 networks,
+/// tensor-train chains) for the anytime planner and its differential tests.
+struct GeneratedNetwork {
+  std::string name;
+  std::string expr;
+  /// Every index extent, suite-style (name, extent) pairs.
+  std::vector<std::pair<std::string, std::int64_t>> dims;
+  /// Extents of the sparse operand's modes in CSF (expression) order.
+  std::vector<std::int64_t> sparse_dims;
+
+  /// Extent of index `index_name`, or -1 when unbound.
+  std::int64_t dim_of(const std::string& index_name) const;
+};
+
+/// Random order-`order` contraction: sparse T(i0..i{order-1}) with one
+/// dense factor per mode. Each factored mode either joins a shared rank
+/// index "r" (MTTKRP-style) or gets its own output index "s<m>"
+/// (TTMc-style), and with probability 1/2 one random mode keeps no factor
+/// and passes straight to the output. Sparse extents jitter ±1 around
+/// `sparse_extent`. Deterministic in `rng`'s seed.
+GeneratedNetwork random_network(int order, std::int64_t sparse_extent,
+                                std::int64_t rank_extent, Rng& rng);
+
+/// Tensor-train (MPS) chain generalizing the suite's tttc4 shape to any
+/// order: sparse T(i0..i{order-2},n) contracted with a chain
+/// A0(i0,b0) * A1(b0,i1,b1) * ... whose last carriage exposes "e";
+/// output Z(e,n). Deterministic (no randomness needed).
+GeneratedNetwork tensor_train_network(int order, std::int64_t sparse_extent,
+                                      std::int64_t bond_extent);
+
 }  // namespace spttn

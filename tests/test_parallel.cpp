@@ -405,6 +405,72 @@ TEST(Parallel, ModerateSkewAdoptsSmallerBalancedRebuild) {
   EXPECT_LT(seq.max_abs_diff(par), 1e-12);
 }
 
+// Regression for the degenerate-rebuild gap: a root slice owning ~22% of
+// the nonzeros is heavy enough to trip the skew threshold (imbalance
+// ~3.5 under the 4x-lane flat budget) yet LIGHTER than the partials-capped
+// rebuild target (total/4), so the from-scratch nested rebuild splits
+// nothing and used to give up — keeping the skewed flat partition and
+// serializing behind the mega-chunk. The heavy-chunk re-split fallback
+// must now carve that chunk against the flat partition's own per-task
+// target: nested split engages, the executed imbalance drops well below
+// the unfixed ~2.6, and results still land on sequential bit-for-bit at
+// a fixed thread count.
+TEST(Parallel, ModerateSkewResplitsHeavyChunkWhenRebuildDegenerates) {
+  ScopedLanes lanes(4);
+  CooTensor t({65, 48, 24});
+  Rng rng(41);
+  // Slice i=0: 288 nonzeros (~22% of 1312 total) — below total/4, above
+  // total/16. Slices 1..64: 16 nonzeros each.
+  for (std::int64_t j = 0; j < 48; ++j) {
+    for (std::int64_t k = 0; k < 24; ++k) {
+      if ((j * 24 + k) % 4 == 0) t.push_back({0, j, k}, rng.next_double());
+    }
+  }
+  for (std::int64_t i = 1; i < 65; ++i) {
+    for (std::int64_t e = 0; e < 16; ++e) {
+      t.push_back({i, (i * 5 + e * 7) % 48, (i + e * 5) % 24},
+                  rng.next_double() - 0.5);
+    }
+  }
+  t.sort_dedup();
+  const DenseTensor b = random_dense({48, 8}, rng);
+  const DenseTensor c = random_dense({24, 8}, rng);
+  const BoundKernel bound =
+      bind("A(i,r) = T(i,j,k)*B(j,r)*C(k,r)", t, {&b, &c});
+  const Plan plan = plan_kernel(bound);
+  FusedExecutor exec(bound.kernel, plan);
+  ExecArgs args;
+  args.sparse = &bound.csf;
+  args.dense = bound.dense;
+
+  DenseTensor seq = make_output(bound);
+  args.out_dense = &seq;
+  exec.execute(args);
+
+  DenseTensor par = make_output(bound);
+  args.out_dense = &par;
+  args.num_threads = 16;
+  ExecStats stats;
+  args.stats = &stats;
+  exec.execute(args);
+
+  EXPECT_GE(stats.nested_regions, 1)
+      << "heavy-chunk re-split did not engage, imbalance="
+      << stats.partition_imbalance;
+  EXPECT_GT(stats.threads_used, 1);
+  EXPECT_EQ(stats.fallback_regions, 0);
+  // Unfixed, the flat partition rides the ~22% mega-chunk: imbalance
+  // max_w * tasks / total ~= 2.6. The re-split caps tasks near the flat
+  // per-task target.
+  EXPECT_LT(stats.partition_imbalance, 2.0);
+  EXPECT_LT(seq.max_abs_diff(par), 1e-12);
+
+  DenseTensor again = make_output(bound);
+  args.out_dense = &again;
+  exec.execute(args);
+  EXPECT_EQ(par.max_abs_diff(again), 0.0) << "rerun not bit-identical";
+}
+
 // Nested determinism across output families on tiny-extent roots (three
 // root slices, hundreds of nonzeros each, lane budget above the extent):
 // threaded results land on sequential at 1e-12 and reruns are

@@ -3,10 +3,12 @@
 //
 // Two gates, both reflected in the exit code:
 //  - schema: the fresh file must parse, carry the same "bench" id, and
-//    (for bench_fig8_scaling) every row must still expose the legacy
-//    fields (ranks/grid/max_local_s/comm_s/total_s/speedup/imbalance), so
-//    schema extensions stay backward-compatible and silent field drops
-//    fail CI.
+//    keep its bench-specific legacy fields: bench_fig8_scaling rows
+//    (ranks/grid/max_local_s/comm_s/total_s/speedup/imbalance),
+//    bench_search rows (search-space columns plus the exact-vs-anytime
+//    comparison rows with cost_ratio/gap/plan seconds), and bench_serve
+//    rows (per-kernel request counts and latency percentiles). Schema
+//    extensions stay backward-compatible and silent field drops fail CI.
 //  - regression: matching rows (identity = the string/rank-like fields on
 //    the path to the metric) whose seconds-valued metrics got slower than
 //    baseline * --max-regress (and by more than --min-delta absolute) are
@@ -324,6 +326,79 @@ void check_fig8_schema(const Json& doc, const std::string& path) {
   }
 }
 
+void check_search_schema(const Json& doc, const std::string& path) {
+  const Json* mode = doc.find("mode");
+  if (mode == nullptr || mode->kind != Json::Kind::kString) {
+    throw Error(path + ": bench_search document has no mode field");
+  }
+  if (mode->str == "cache") {
+    const Json* families = doc.find("families");
+    if (families == nullptr || families->kind != Json::Kind::kArray) {
+      throw Error(path + ": bench_search cache document has no families");
+    }
+    return;
+  }
+  const Json* kernels = doc.find("kernels");
+  if (kernels == nullptr || kernels->kind != Json::Kind::kArray ||
+      kernels->items.empty()) {
+    throw Error(path + ": bench_search document has no kernels rows");
+  }
+  const char* legacy[] = {"paths", "exec_paths",     "orders_csf",
+                          "dp_ms", "dp_subproblems", "enum_ms"};
+  for (const Json& row : kernels->items) {
+    for (const char* field : legacy) {
+      if (row.find(field) == nullptr) {
+        throw Error(path + ": kernels row dropped legacy field '" +
+                    std::string(field) + "'");
+      }
+    }
+  }
+  // Strategy-comparison rows: every row must carry the full exact-vs-
+  // anytime column set so the quality signal (cost_ratio, gap) cannot be
+  // silently dropped while the timing columns keep the diff green.
+  const Json* anytime = doc.find("anytime");
+  if (anytime == nullptr || anytime->kind != Json::Kind::kArray ||
+      anytime->items.empty()) {
+    throw Error(path + ": bench_search document has no anytime rows");
+  }
+  const char* strategy_fields[] = {"cost_ratio", "nodes_expanded", "gap",
+                                   "exact_plan_s", "anytime_plan_s"};
+  for (const Json& row : anytime->items) {
+    if (row.find("kernel") == nullptr || row.find("budget") == nullptr) {
+      throw Error(path + ": anytime row missing kernel/budget identity");
+    }
+    for (const char* field : strategy_fields) {
+      if (row.find(field) == nullptr) {
+        throw Error(path + ": anytime row dropped field '" +
+                    std::string(field) + "'");
+      }
+    }
+  }
+}
+
+void check_serve_schema(const Json& doc, const std::string& path) {
+  if (doc.find("throughput_rps") == nullptr) {
+    throw Error(path + ": bench_serve document has no throughput_rps");
+  }
+  const Json* kernels = doc.find("kernels");
+  if (kernels == nullptr || kernels->kind != Json::Kind::kArray ||
+      kernels->items.empty()) {
+    throw Error(path + ": bench_serve document has no kernels rows");
+  }
+  const char* legacy[] = {"requests", "p50_us", "p99_us", "max_us"};
+  for (const Json& row : kernels->items) {
+    if (row.find("kernel") == nullptr) {
+      throw Error(path + ": serve row missing kernel identity");
+    }
+    for (const char* field : legacy) {
+      if (row.find(field) == nullptr) {
+        throw Error(path + ": serve row dropped legacy field '" +
+                    std::string(field) + "'");
+      }
+    }
+  }
+}
+
 std::string bench_id(const Json& doc, const std::string& path) {
   const Json* bench = doc.find("bench");
   if (bench == nullptr || bench->kind != Json::Kind::kString) {
@@ -367,6 +442,12 @@ int main(int argc, char** argv) {
     if (id == "bench_fig8_scaling") {
       check_fig8_schema(fresh, *fresh_path);
       check_fig8_schema(base, *base_path);
+    } else if (id == "bench_search") {
+      check_search_schema(fresh, *fresh_path);
+      check_search_schema(base, *base_path);
+    } else if (id == "bench_serve") {
+      check_serve_schema(fresh, *fresh_path);
+      check_serve_schema(base, *base_path);
     }
 
     Metrics fresh_rows;
